@@ -1,0 +1,59 @@
+"""§2.2.1 baseline — Batcher's non-oblivious sorting-based routing:
+Θ(log² N) on cube-class networks, queue-free, permutation-only.
+
+The paper contrasts it with the oblivious randomized algorithms it
+builds on; this bench regenerates the comparison series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.routing import ValiantHypercubeRouter, bitonic_route, bitonic_stage_count
+from repro.routing.batcher import bitonic_vs_valiant_times
+from repro.topology import Hypercube
+from repro.util.tables import Table
+
+
+@pytest.mark.parametrize("k", [4, 6, 8])
+def test_bitonic_routing(benchmark, k):
+    cube = Hypercube(k)
+    rng = np.random.default_rng(k)
+    perm = rng.permutation(cube.num_nodes)
+
+    stats = benchmark.pedantic(
+        lambda: bitonic_route(cube, perm), rounds=1, iterations=1
+    )
+    assert stats.completed
+    assert stats.steps == bitonic_stage_count(k)
+    assert stats.max_queue == 1
+
+
+def test_batcher_vs_valiant_series(benchmark, table_sink):
+    """The gap grows like log N: Θ(log² N) vs Õ(log N)."""
+
+    def run():
+        rows = []
+        for k in (4, 6, 8, 10):
+            cube = Hypercube(k)
+            rng = np.random.default_rng(k)
+            perm = rng.permutation(cube.num_nodes)
+            val = ValiantHypercubeRouter(cube, seed=k).route(
+                np.arange(cube.num_nodes), perm
+            )
+            assert val.completed
+            rows.append(bitonic_vs_valiant_times(k, val.steps))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(["log2N", "batcher (k(k+1)/2)", "valiant (measured)", "ratio"])
+    for r in rows:
+        table.add_row([r["log2N"], r["batcher_steps"], r["valiant_steps"],
+                       round(r["ratio"], 2)])
+    table.set_caption(
+        "§2.2.1: Batcher routing is queue-free but Θ(log² N); the "
+        "randomized oblivious algorithms stay Õ(log N) — and the paper's "
+        "leveled networks go below even that."
+    )
+    table_sink(table)
+    ratios = [r["ratio"] for r in rows]
+    assert ratios[-1] > ratios[0]  # the gap widens with N

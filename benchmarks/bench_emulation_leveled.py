@@ -1,0 +1,101 @@
+"""E6 — Theorems 2.5/2.6 + Corollaries 2.3-2.6: PRAM steps in Õ(diameter)
+on star / shuffle / generic leveled networks, EREW and CRCW."""
+
+import pytest
+
+from repro.emulation import LeveledEmulator
+from repro.experiments.exp_emulation import run_e6, run_e6_combining_ablation, run_e6_crcw
+from repro.pram import hotspot_step, permutation_step
+from repro.topology import DAryButterflyLeveled, ShuffleLeveled, StarLogicalLeveled
+
+
+@pytest.mark.parametrize(
+    "net_builder,mode",
+    [
+        (lambda: StarLogicalLeveled(4), "node"),
+        (lambda: ShuffleLeveled.n_way(3), "coin"),
+        (lambda: DAryButterflyLeveled(2, 6), "coin"),
+    ],
+    ids=["star-n4", "shuffle-n3", "butterfly-L6"],
+)
+def test_erew_step_emulation(benchmark, net_builder, mode):
+    net = net_builder()
+    m = 8 * net.column_size
+
+    def run():
+        emu = LeveledEmulator(net, address_space=m, intermediate=mode, seed=6)
+        step = permutation_step(net.column_size, m, seed=7)
+        return emu.emulate_step(step), emu
+
+    cost, emu = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Theorem 2.5: Õ(ℓ) per step
+    assert cost.total_steps <= 10 * emu.scale
+    assert cost.rehashes == 0
+
+
+def test_crcw_hotspot_emulation(benchmark):
+    """Theorem 2.6: a full-machine concurrent read costs Õ(diameter)."""
+    net = DAryButterflyLeveled(2, 6)  # 64 processors
+    m = 8 * net.column_size
+
+    def run():
+        emu = LeveledEmulator(net, address_space=m, mode="crcw", seed=8)
+        step = hotspot_step(net.column_size, m, hot_addresses=1, hot_fraction=1.0, seed=9)
+        return emu.emulate_step(step), emu
+
+    cost, emu = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cost.combines > 0
+    assert cost.total_steps <= 12 * emu.scale
+    assert cost.total_steps < net.column_size  # beats the no-combining Ω(N)
+
+
+def test_e6_table(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e6(settings=(("star", 4), ("shuffle", 3), ("butterfly", 6)), trials=2, seed=51),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(table)
+    for row in table.rows:
+        assert float(row[5]) < 10.0  # time/diam column
+
+
+def test_e6_crcw_table(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e6_crcw(settings=(("butterfly", 5), ("star", 4)), trials=2, seed=52),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(table)
+
+
+def test_e6_combining_ablation(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e6_combining_ablation(size=5, trials=2, seed=53),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(table)
+    with_combining = float(table.rows[0][1])
+    without = float(table.rows[1][1])
+    assert without > 2 * with_combining  # hot spot serializes sans combining
+
+
+def test_sublogarithmic_emulation_headline(benchmark):
+    """§1: the star's per-step emulation time (Õ(diameter)) is *sub-
+    logarithmic* in machine size N = n! — compare against log2(N)."""
+    import math
+
+    net = StarLogicalLeveled(5)  # N = 120, diameter-ish 2L = 16 vs log2(120!) huge
+    m = 4 * net.column_size
+
+    def run():
+        emu = LeveledEmulator(net, address_space=m, intermediate="node", seed=10)
+        step = permutation_step(net.column_size, m, seed=11)
+        return emu.emulate_step(step)
+
+    cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    # the claim is about scaling; here we record the basic sanity that the
+    # physical star diameter 3(n-1)/2 = 6 is below log2(N=120) ≈ 6.9
+    assert (3 * (5 - 1)) // 2 < math.log2(math.factorial(5))
+    assert cost.total_steps > 0

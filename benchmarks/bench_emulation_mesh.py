@@ -1,0 +1,68 @@
+"""E8 — Theorem 3.2: one EREW PRAM step on the n x n mesh in 4n + o(n)."""
+
+import pytest
+
+from repro.analysis import MESH_EMULATION_CLAIM, fitted_constant
+from repro.emulation import MeshEmulator
+from repro.experiments.exp_mesh import run_e8
+from repro.pram import permutation_step, random_trace
+from repro.topology import Mesh2D
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def test_erew_step_on_mesh(benchmark, n):
+    mesh = Mesh2D.square(n)
+    m = 4 * n * n
+
+    def run():
+        emu = MeshEmulator(mesh, address_space=m, seed=14)
+        return emu.emulate_step(permutation_step(n * n, m, seed=15))
+
+    cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cost.total_steps <= MESH_EMULATION_CLAIM.bound(n)
+    assert cost.rehashes == 0
+
+
+def test_e8_table_and_constant(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e8(ns=(8, 16, 24), trials=2, seed=42), rounds=1, iterations=1
+    )
+    table_sink(table)
+    ns = [float(r[0]) for r in table.rows]
+    times = [float(r[1]) for r in table.rows]
+    slope = fitted_constant(ns, times)
+    # Theorem 3.2's leading constant: ≈4 (the o(n) term inflates small n)
+    assert 2.0 <= slope <= 6.0
+
+
+def test_multi_step_trace_emulation(benchmark):
+    """Steady-state cost over a multi-step EREW trace."""
+    n = 12
+    mesh = Mesh2D.square(n)
+    m = 4 * n * n
+    trace = random_trace(n * n, m, 4, seed=16)
+
+    def run():
+        emu = MeshEmulator(mesh, address_space=m, seed=17)
+        return emu.emulate_trace(trace)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.pram_steps == 4
+    assert report.mean_step_time <= MESH_EMULATION_CLAIM.bound(n)
+    assert report.total_rehashes == 0
+
+
+def test_write_only_steps_cost_half(benchmark):
+    """Writes need no reply phase: cost ≈ 2n + o(n), not 4n."""
+    n = 12
+    mesh = Mesh2D.square(n)
+    m = 4 * n * n
+
+    def run():
+        emu = MeshEmulator(mesh, address_space=m, seed=18)
+        step = permutation_step(n * n, m, seed=19, kind="write")
+        return emu.emulate_step(step)
+
+    cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cost.reply_steps == 0
+    assert cost.total_steps <= 0.75 * MESH_EMULATION_CLAIM.bound(n)

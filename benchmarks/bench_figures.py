@@ -1,0 +1,63 @@
+"""F1-F5 — regenerate the paper's structural figures and check their
+defining invariants (the figures are diagrams, not data plots)."""
+
+from repro.experiments.exp_figures import (
+    all_figures,
+    figure1_leveled_template,
+    figure2_star_graphs,
+    figure3_star_logical,
+    figure4_two_way_shuffle,
+    figure5_mesh_slices,
+)
+from repro.topology import DAryButterflyLeveled, DWayShuffle, Mesh2D, StarGraph
+
+
+def test_figure1_unique_path_invariant(benchmark):
+    out = benchmark.pedantic(figure1_leveled_template, rounds=1, iterations=1)
+    assert "unique path" in out
+    net = DAryButterflyLeveled(2, 3)
+    for src in range(net.column_size):
+        for dst in range(net.column_size):
+            assert net.unique_path(src, dst)[-1] == dst
+
+
+def test_figure2_star_invariants(benchmark):
+    out = benchmark.pedantic(figure2_star_graphs, rounds=1, iterations=1)
+    assert "3-star" in out and "4-star" in out
+    s3, s4 = StarGraph(3), StarGraph(4)
+    assert s3.bfs_eccentricity(0) == 3
+    assert s4.bfs_eccentricity(0) == 4
+
+
+def test_figure3_logical_network_invariant(benchmark):
+    out = benchmark.pedantic(figure3_star_logical, rounds=1, iterations=1)
+    assert "logical leveled network" in out
+
+
+def test_figure4_shuffle_invariant(benchmark):
+    out = benchmark.pedantic(figure4_two_way_shuffle, rounds=1, iterations=1)
+    sh = DWayShuffle.n_way(2)
+    # unique n-hop path between every ordered pair
+    for u in range(4):
+        for v in range(4):
+            assert sh.unique_path(u, v)[-1] == v
+
+
+def test_figure5_slices_partition(benchmark):
+    out = benchmark.pedantic(lambda: figure5_mesh_slices(16), rounds=1, iterations=1)
+    mesh = Mesh2D.square(16)
+    rows = []
+    from repro.routing import default_slice_rows
+
+    sr = default_slice_rows(16)
+    s = 0
+    while s * sr < 16:
+        rows.extend(mesh.slice_row_range(s, sr))
+        s += 1
+    assert rows == list(range(16))
+
+
+def test_all_figures_render(benchmark, table_sink):
+    out = benchmark.pedantic(all_figures, rounds=1, iterations=1)
+    table_sink(out)
+    assert out.count("Figure") >= 5

@@ -1,0 +1,64 @@
+"""E11 — Corollaries 3.1-3.3: the mesh analysis' hashing load facts."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.exp_hash import run_e11_cor31, run_e11_cor32, run_e11_cor33
+from repro.hashing import (
+    HashFamily,
+    collection_load,
+    corollary31_reference,
+    corollary32_reference,
+    max_load,
+)
+
+
+def test_cor31_n_items_n_buckets(benchmark):
+    n = 4096
+    family = HashFamily(4 * n, n, degree_param=8)
+
+    def run():
+        h = family.sample(seed=30)
+        return max_load(h, np.arange(n))
+
+    ml = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ml <= 6 * corollary31_reference(n)
+
+
+def test_cor32_n2_items_beta_n_buckets(benchmark):
+    n, beta = 64, 2.0
+    family = HashFamily(4 * n * n, int(beta * n), degree_param=8)
+
+    def run():
+        h = family.sample(seed=31)
+        return max_load(h, np.arange(n * n))
+
+    ml = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ml <= 1.5 * corollary32_reference(n, beta)
+    assert ml >= n / beta  # can't beat the mean
+
+
+def test_cor33_log_collection(benchmark):
+    n = 4096
+    family = HashFamily(4 * n, n, degree_param=8)
+    k = int(math.log2(n))
+    rng = np.random.default_rng(32)
+    buckets = rng.choice(n, size=k, replace=False)
+
+    def run():
+        h = family.sample(seed=33)
+        return collection_load(h, np.arange(n), buckets)
+
+    load = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert load <= 6 * math.log(n)  # O(log N)
+
+
+@pytest.mark.parametrize(
+    "runner", [run_e11_cor31, run_e11_cor32, run_e11_cor33], ids=["31", "32", "33"]
+)
+def test_e11_tables(benchmark, table_sink, runner):
+    table = benchmark.pedantic(lambda: runner(trials=3), rounds=1, iterations=1)
+    table_sink(table)
+    assert len(table.rows) >= 3

@@ -1,0 +1,94 @@
+"""E5 — §2.1 + Lemma 2.2: the hash family's load and description size."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.exp_hash import run_e5, run_e5_degree_ablation
+from repro.hashing import (
+    HashFamily,
+    empirical_overflow_rate,
+    lemma22_bound,
+    max_load,
+)
+
+
+def test_vectorized_hash_throughput(benchmark):
+    """Hashing a full request wave (N addresses) is a per-step cost of the
+    emulation; keep it cheap (vectorized Horner)."""
+    family = HashFamily(2**20, 4096, degree_param=16)
+    h = family.sample(seed=1)
+    addrs = np.arange(4096)
+
+    mapped = benchmark(h.map, addrs)
+    assert mapped.shape == (4096,)
+    assert mapped.max() < 4096
+
+
+def test_lemma22_overflow_probability(benchmark):
+    """Measured overflow rate (some module with >= γ = 2S requests) stays
+    under the Lemma 2.2 counting bound."""
+    family = HashFamily(1024, 64, degree_param=8)
+
+    def run():
+        return empirical_overflow_rate(family, s_size=64, gamma=16, trials=60, seed=5)
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = lemma22_bound(64, 64, delta=8, gamma=16, p=family.p)
+    assert measured <= bound + 0.05
+
+
+def test_description_bits_O_L_log_M(benchmark):
+    """§2.1: 'each hash function in H needs only O(L log M) bits'."""
+
+    def run():
+        rows = []
+        for L, M in [(6, 2**12), (9, 2**16), (12, 2**20)]:
+            family = HashFamily(M, 1024, degree_param=L)
+            bits = family.sample(seed=0).description_bits()
+            rows.append((L, M, bits))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    import math
+
+    for L, M, bits in rows:
+        assert bits <= 2 * L * math.log2(M) + L  # O(L log M), small constant
+
+
+def test_e5_table(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e5(settings=((256, 16, 8), (1024, 64, 8)), trials=25, seed=31),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(table)
+    for row in table.rows:
+        assert float(row[4]) <= float(row[5]) + 0.05  # measured <= bound
+
+
+def test_e5_degree_ablation_table(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e5_degree_ablation(trials=20, seed=35), rounds=1, iterations=1
+    )
+    table_sink(table)
+    worst = [float(r[3]) for r in table.rows]
+    # the S=1 (linear) worst case should not beat the S=16 worst case
+    assert worst[0] >= worst[-1]
+
+
+def test_rehash_rarity(benchmark):
+    """§2.1: 'rehashings hardly happen' — with γ = 2S headroom no draw in
+    a long sequence overflows."""
+    family = HashFamily(4096, 256, degree_param=10)
+    addrs = np.arange(256)
+
+    def run():
+        overflows = 0
+        for seed in range(40):
+            h = family.sample(seed=seed)
+            if max_load(h, addrs) >= 20:
+                overflows += 1
+        return overflows
+
+    overflows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert overflows == 0

@@ -1,0 +1,72 @@
+"""E1 — Theorem 2.1: permutation routing on leveled networks in Õ(ℓ).
+
+Regenerates the time-vs-levels series for degree-d, L-level networks and
+checks the normalized time stays flat (the Õ(ℓ) claim) with queues O(ℓ).
+"""
+
+import pytest
+
+from repro.analysis import flatness
+from repro.experiments.exp_leveled import run_e1
+from repro.routing import LeveledRouter
+from repro.topology import DAryButterflyLeveled
+
+
+@pytest.mark.parametrize("d,levels", [(2, 4), (2, 6), (2, 8), (3, 4)])
+def test_leveled_permutation_routing(benchmark, d, levels):
+    net = DAryButterflyLeveled(d, levels)
+
+    def run():
+        router = LeveledRouter(net, seed=1)
+        return router.route_random_permutation()
+
+    stats = benchmark(run)
+    assert stats.completed
+    assert stats.steps <= 8 * 2 * levels  # Õ(ℓ) with small constant
+    assert stats.max_queue <= 4 * levels  # queue O(ℓ)
+
+
+def test_e1_table_flatness(benchmark, table_sink):
+    """The full E1 series: time/2L must not grow with network size."""
+
+    def run():
+        return run_e1(settings=((2, 4), (2, 6), (2, 8)), trials=2, seed=11)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_sink(table)
+    normalized = [float(r[3]) for r in table.rows]  # time/2L column
+    assert flatness(normalized, tolerance=0.8)
+
+
+def test_lemma21_restart_amplification(benchmark):
+    """Lemma 2.1: repeating the algorithm on stragglers (trace back, retry)
+    completes any permutation even under a deliberately tight allotment."""
+    import numpy as np
+
+    net = DAryButterflyLeveled(2, 6)
+
+    def run():
+        router = LeveledRouter(net, seed=13)
+        perm = np.random.default_rng(14).permutation(net.column_size)
+        return router.route_with_restarts(
+            np.arange(net.column_size), perm, allotment=2 * net.num_levels + 1
+        )
+
+    stats, rounds = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.completed
+    assert rounds >= 2  # the tight allotment forces at least one restart
+    assert stats.steps <= 10 * 2 * net.num_levels  # still Õ(ℓ) overall
+
+
+def test_algorithm21_coin_vs_node_modes(benchmark, table_sink):
+    """Both phase-1 flavors (coin-per-level vs random node) are Õ(ℓ)."""
+    net = DAryButterflyLeveled(2, 6)
+
+    def run():
+        coin = LeveledRouter(net, intermediate="coin", seed=3).route_random_permutation()
+        node = LeveledRouter(net, intermediate="node", seed=3).route_random_permutation()
+        return coin, node
+
+    coin, node = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert coin.completed and node.completed
+    assert coin.steps <= 8 * 12 and node.steps <= 8 * 12

@@ -1,0 +1,67 @@
+"""E9 — Theorem 3.3: δ-local memory requests finish in 6δ + o(δ) steps,
+independent of the mesh side n."""
+
+import pytest
+
+from repro.analysis import MESH_LOCALITY_CLAIM
+from repro.emulation import MeshEmulator, locality_slice_rows
+from repro.experiments.exp_mesh import run_e9
+from repro.pram import local_step_for_mesh
+from repro.topology import Mesh2D
+
+
+@pytest.mark.parametrize("delta", [2, 4, 8])
+def test_local_step_cost(benchmark, delta):
+    n = 24
+    mesh = Mesh2D.square(n)
+
+    def run():
+        emu = MeshEmulator(
+            mesh,
+            address_space=n * n,
+            placement="direct",
+            slice_rows=locality_slice_rows(delta),
+            seed=20,
+        )
+        return emu.emulate_step(local_step_for_mesh(n, delta, seed=21))
+
+    cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cost.total_steps <= MESH_LOCALITY_CLAIM.bound(delta)
+    # locality: far below the global 4n bound
+    assert cost.total_steps < 4 * n
+
+
+def test_e9_table_scales_with_delta_not_n(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e9(deltas=(2, 4, 8), n=24, trials=2, seed=43),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(table)
+    times = [float(r[1]) for r in table.rows]
+    assert times[0] < times[-1]  # grows with δ ...
+    assert times[-1] < 4 * 24  # ... but stays below the global cost
+
+
+def test_locality_invariant_to_mesh_size(benchmark):
+    """Same δ on two mesh sizes: cost unchanged (the o(δ) term dominates
+    any n-dependence)."""
+    delta = 4
+
+    def run():
+        costs = []
+        for n in (16, 32):
+            emu = MeshEmulator(
+                Mesh2D.square(n),
+                address_space=n * n,
+                placement="direct",
+                slice_rows=locality_slice_rows(delta),
+                seed=22,
+            )
+            costs.append(
+                emu.emulate_step(local_step_for_mesh(n, delta, seed=23)).total_steps
+            )
+        return costs
+
+    c16, c32 = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert abs(c32 - c16) <= MESH_LOCALITY_CLAIM.bound(delta) * 0.5

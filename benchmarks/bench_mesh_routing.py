@@ -1,0 +1,95 @@
+"""E7 — Theorem 3.1: the 3-stage mesh router in 2n + o(n), queue O(log n).
+
+Includes the §3.4.1 linear-array primitive and the discipline/slice/queue
+ablations (E7b-E7e).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import MESH_ROUTING_CLAIM
+from repro.experiments.exp_mesh import (
+    run_e7,
+    run_e7_discipline_ablation,
+    run_e7_queue_variant,
+    run_e7_slice_ablation,
+    run_linear_primitive,
+)
+from repro.routing import MeshRouter, route_linear, random_linear_instance
+from repro.topology import Mesh2D
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+def test_mesh_routing_2n(benchmark, n):
+    mesh = Mesh2D.square(n)
+
+    def run():
+        return MeshRouter(mesh, seed=12).route_random_permutation()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.completed
+    assert stats.steps <= MESH_ROUTING_CLAIM.bound(n)
+    assert stats.max_queue <= 6 * math.log2(n)  # O(log n) queues
+
+
+def test_e7_table_trend(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e7(ns=(8, 16, 24), trials=2, seed=41), rounds=1, iterations=1
+    )
+    table_sink(table)
+    ratios = [float(r[2]) for r in table.rows]  # time/n
+    # Theorem 3.1 shape: time/n stays below 2 + o(n)/n at every size
+    assert all(r < 2.5 for r in ratios)
+    assert ratios[-1] < 2.2
+
+
+def test_linear_array_primitive(benchmark):
+    n = 64
+    origins, dests = random_linear_instance(n, n, seed=13)
+
+    def run():
+        return route_linear(n, origins, dests)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.completed
+    assert stats.steps <= n + 6 * n**0.75  # n' + o(n)
+
+
+def test_e7e_linear_table(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_linear_primitive(ns=(32, 64), trials=2, seed=47),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(table)
+
+
+def test_e7b_discipline_ablation(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e7_discipline_ablation(n=16, trials=2, seed=44),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(table)
+
+
+def test_e7c_slice_ablation(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e7_slice_ablation(n=16, trials=2, seed=45), rounds=1, iterations=1
+    )
+    table_sink(table)
+    # ε = 1 (slice_rows = n) pays the full extra column trip
+    times = {row[0]: float(row[1]) for row in table.rows}
+    assert times[str(16)] >= times[str(max(1, round(16 / math.log2(16))))] - 1
+
+
+def test_e7d_queue_variant(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e7_queue_variant(n=16, trials=2, seed=46), rounds=1, iterations=1
+    )
+    table_sink(table)
+    # bounded buffers cap the node load at the cap
+    capped = [r for r in table.rows if r[0] != "None"]
+    for row in capped:
+        assert float(row[3]) <= float(row[0]) + 1

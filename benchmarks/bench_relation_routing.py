@@ -1,0 +1,60 @@
+"""E4 — Theorem 2.4: partial ℓ-relation routing on leveled networks.
+
+The emulation's routing workload is not a permutation but (w.h.p.) a
+partial cℓ-relation (Lemma 2.2); this bench regenerates the Õ(ℓ) series
+for that load.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.exp_leveled import run_e4
+from repro.routing import LeveledRouter
+from repro.topology import DAryButterflyLeveled
+
+
+@pytest.mark.parametrize("levels,h", [(4, 4), (6, 6), (6, 12)])
+def test_l_relation_routing(benchmark, levels, h):
+    net = DAryButterflyLeveled(2, levels)
+    n = net.column_size
+    rng = np.random.default_rng(7)
+    sources = np.repeat(np.arange(n), h)
+    dests = np.concatenate([rng.permutation(n) for _ in range(h)])
+
+    def run():
+        return LeveledRouter(net, seed=8).route_h_relation(sources, dests)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.completed
+    assert stats.delivered == h * n
+    # Õ(ℓ) per unit of h: time scales with h * 2L, small constant
+    assert stats.steps <= 6 * h * levels + 10 * levels
+
+
+def test_e4_table(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e4(settings=((2, 5, 5), (2, 6, 6)), trials=2, seed=13),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(table)
+    for row in table.rows:
+        assert float(row[4]) < 4.0  # time/(h*2L)
+
+
+def test_many_one_routing_with_combining(benchmark):
+    """Many-one routing (§2.2.1): all packets to one destination —
+    feasible in Õ(ℓ) only because combining collapses the flow."""
+    net = DAryButterflyLeveled(2, 6)
+    n = net.column_size
+
+    def run():
+        router = LeveledRouter(net, seed=9, combine=True)
+        return router.route(
+            np.arange(n), np.zeros(n, dtype=int), addresses=np.zeros(n, dtype=int)
+        )
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.completed
+    assert stats.combines > 0
+    assert stats.steps <= 8 * 2 * net.num_levels

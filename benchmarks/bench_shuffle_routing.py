@@ -1,0 +1,63 @@
+"""E3 — Theorem 2.3 / Corollary 2.2: Õ(n) routing on the d-way shuffle."""
+
+import pytest
+
+from repro.experiments.exp_shuffle import run_e3, run_e3_relation
+from repro.routing import ShuffleRouter
+from repro.topology import DWayShuffle
+
+
+@pytest.mark.parametrize("d,n", [(2, 6), (3, 3), (3, 4), (4, 3)])
+def test_shuffle_permutation_routing(benchmark, d, n):
+    sh = DWayShuffle(d, n)
+
+    def run():
+        return ShuffleRouter(sh, seed=4).route_random_permutation()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.completed
+    assert stats.steps <= 10 * n  # Õ(n)
+    assert all(h == 2 * n for h in stats.hops)  # exact unique-path lengths
+
+
+def test_n_way_shuffle_routing(benchmark):
+    """The headline instance: d = n, N = n^n nodes, diameter n."""
+    sh = DWayShuffle.n_way(3)
+
+    def run():
+        return ShuffleRouter(sh, seed=5).route_random_permutation()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.completed
+    assert stats.steps <= 10 * sh.n
+
+
+def test_shuffle_n_relation(benchmark):
+    sh = DWayShuffle(3, 3)
+
+    def run():
+        return ShuffleRouter(sh, seed=6).route_n_relation()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.completed
+
+
+def test_e3_table(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e3(settings=((2, 4), (2, 6), (3, 3)), trials=2, seed=23),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(table)
+    # columns: d, n, N(max), time(mean), time/n(mean), max_queue(max)
+    for row in table.rows:
+        assert float(row[4]) < 10.0  # time/n stays a small constant
+
+
+def test_e3_relation_table(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e3_relation(settings=((2, 4),), trials=2, seed=24),
+        rounds=1,
+        iterations=1,
+    )
+    table_sink(table)

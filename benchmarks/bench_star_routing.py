@@ -1,0 +1,77 @@
+"""E2 — Theorem 2.2 / Corollary 2.1: Õ(n) routing on the n-star graph.
+
+Regenerates the routing-time table on physical star graphs (n = 4..6),
+the n-relation variant, the deterministic-greedy ablation, and the
+Figure-3 logical-network run.
+"""
+
+import pytest
+
+from repro.analysis import star_diameter
+from repro.experiments.exp_star import run_e2, run_e2_ablation, run_e2_logical
+from repro.routing import StarRouter
+from repro.topology import StarGraph
+
+
+@pytest.mark.parametrize("n", [4, 5, 6])
+def test_star_permutation_routing(benchmark, n):
+    star = StarGraph(n)
+
+    def run():
+        return StarRouter(star, seed=2).route_random_permutation()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.completed
+    # Theorem 2.2: time within a constant factor of the diameter
+    assert stats.steps <= 8 * star.diameter
+    assert stats.max_queue <= 6 * n  # queue O(n)
+
+
+def test_star_n_relation(benchmark):
+    star = StarGraph(5)
+
+    def run():
+        return StarRouter(star, seed=3).route_n_relation()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.completed
+    assert stats.steps <= 12 * star.diameter
+
+
+def test_e2_table(benchmark, table_sink):
+    def run():
+        return run_e2(ns=(4, 5), trials=2, seed=17)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    table_sink(table)
+    # normalized column time/diam bounded
+    for row in table.rows:
+        assert float(row[4]) < 8.0
+
+
+def test_e2_ablation_table(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e2_ablation(n=5, trials=2, seed=19), rounds=1, iterations=1
+    )
+    table_sink(table)
+
+
+def test_e2_logical_network(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e2_logical(ns=(4,), trials=2, seed=20), rounds=1, iterations=1
+    )
+    table_sink(table)
+
+
+def test_diameter_is_sublogarithmic(benchmark):
+    """§1's headline: star diameter ≪ log2(N) — the reason Theorem 2.6
+    beats the O(log N) emulations."""
+    import math
+
+    def run():
+        return [(n, star_diameter(n), math.log2(math.factorial(n))) for n in range(4, 10)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for n, diam, log_n in rows:
+        if n >= 5:
+            assert diam < log_n

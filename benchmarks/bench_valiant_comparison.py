@@ -1,0 +1,56 @@
+"""E12 — §2.3.4: Algorithm 2.3 (Õ(n)) vs Valiant's scheme on the d-way
+shuffle (Õ(n log d / log log d) under the serialized node model)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.exp_shuffle import run_e12
+from repro.routing import ShuffleRouter, valiant_shuffle_route
+from repro.topology import DWayShuffle
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_parallel_vs_serialized_shuffle(benchmark, n):
+    sh = DWayShuffle.n_way(n)
+    rng = np.random.default_rng(34)
+    perm = rng.permutation(sh.num_nodes)
+
+    def run():
+        ours = ShuffleRouter(sh, seed=35).route(np.arange(sh.num_nodes), perm)
+        ser = valiant_shuffle_route(sh, np.arange(sh.num_nodes), perm, seed=35)
+        return ours, ser
+
+    ours, ser = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ours.completed and ser.completed
+    assert ser.steps >= ours.steps
+
+
+def test_gap_grows_with_n(benchmark, table_sink):
+    table = benchmark.pedantic(
+        lambda: run_e12(ns=(2, 3), trials=2, seed=25), rounds=1, iterations=1
+    )
+    table_sink(table)
+    ratios = [float(r[4]) for r in table.rows]
+    assert ratios[-1] >= ratios[0] * 0.9  # non-shrinking gap at these sizes
+
+
+def test_hypercube_transpose_baseline(benchmark):
+    """The classical motivation (§2.2.1): deterministic oblivious routing
+    on the transpose permutation vs Valiant randomization."""
+    from repro.routing import GreedyRouter, ValiantHypercubeRouter, transpose_permutation
+    from repro.topology import Hypercube
+
+    cube = Hypercube(12)  # 4096 nodes: the 2^{n/2} hot spots bite
+    perm = transpose_permutation(cube)
+
+    def run():
+        det = GreedyRouter(cube).route(np.arange(cube.num_nodes), perm)
+        rnd = ValiantHypercubeRouter(cube, seed=36).route(np.arange(cube.num_nodes), perm)
+        return det, rnd
+
+    det, rnd = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert det.completed and rnd.completed
+    # deterministic e-cube hits the transpose bottleneck (hot nodes, fat
+    # queues); Valiant randomization stays near the diameter
+    assert det.steps > 1.5 * rnd.steps
+    assert det.max_queue > 2 * rnd.max_queue

@@ -1,0 +1,20 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's claims (DESIGN.md §4) and
+prints the paper-style table (visible with ``pytest -s`` or in the
+captured output block of a failure).  Parameters are laptop-scale; the
+experiment modules accept larger sweeps for a fuller run.
+"""
+
+import pytest
+
+
+def emit(table) -> None:
+    """Print a rendered experiment table beneath the benchmark."""
+    print()
+    print(table.render() if hasattr(table, "render") else table)
+
+
+@pytest.fixture
+def table_sink():
+    return emit

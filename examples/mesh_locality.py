@@ -1,0 +1,45 @@
+"""Locality on the mesh (Theorem 3.3): 6δ + o(δ) for δ-local requests.
+
+When every processor's memory request targets data within Manhattan
+distance δ (direct placement — hashing would destroy locality), the same
+3-stage routing algorithm finishes in 6δ + o(δ) steps, *independent of
+the mesh size n*.  This example sweeps δ on a fixed mesh and sweeps n at
+a fixed δ.
+
+Run:  python examples/mesh_locality.py
+"""
+
+from repro.analysis import MESH_LOCALITY_CLAIM
+from repro.emulation import MeshEmulator, locality_slice_rows
+from repro.pram import local_step_for_mesh
+from repro.topology import Mesh2D
+from repro.util.tables import Table
+
+
+def local_cost(n: int, delta: int, seed: int) -> int:
+    emu = MeshEmulator(
+        Mesh2D.square(n),
+        address_space=n * n,
+        placement="direct",
+        slice_rows=locality_slice_rows(delta),
+        seed=seed,
+    )
+    return emu.emulate_step(local_step_for_mesh(n, delta, seed=seed + 1)).total_steps
+
+
+print("Sweep δ at fixed n = 24 (global bound would be 4n = 96)\n")
+t = Table(["delta", "steps", "steps/delta", "claim 6δ+o(δ)"])
+for delta in (2, 4, 8, 12):
+    steps = local_cost(24, delta, seed=13)
+    t.add_row([delta, steps, round(steps / delta, 2),
+               round(MESH_LOCALITY_CLAIM.bound(delta), 1)])
+print(t.render())
+
+print("\nSweep n at fixed δ = 4 — cost must NOT grow with the mesh\n")
+t2 = Table(["n", "steps", "4n (global)"])
+for n in (12, 24, 36):
+    steps = local_cost(n, 4, seed=17)
+    t2.add_row([n, steps, 4 * n])
+print(t2.render())
+print("\nLocal programs pay for locality only — the 'nice locality property'")
+print("the paper highlights for its mesh algorithm.")

@@ -1,0 +1,49 @@
+"""Sorting on a mesh-connected computer via PRAM emulation (§3).
+
+Writes odd-even transposition sort once, as an EREW PRAM program, and
+executes it on an n x n mesh through the 4n + o(n) emulation of Theorem
+3.2 — no mesh-specific sorting code.  Also shows the 2-phase structure
+(request + reply) and compares against the Karlin–Upfal 4-phase baseline
+on the same workload.
+
+Run:  python examples/mesh_parallel_sort.py
+"""
+
+import numpy as np
+
+from repro.emulation import KarlinUpfalMeshEmulator, MeshEmulator, replay_program
+from repro.pram import odd_even_sort, permutation_step
+from repro.topology import Mesh2D
+from repro.util.tables import Table
+
+n = 4  # mesh side; 16 processors sort 16 keys
+rng = np.random.default_rng(11)
+keys = rng.permutation(16).tolist()
+spec = odd_even_sort(keys)
+
+emulator = MeshEmulator(
+    Mesh2D.square(n), address_space=spec.memory_size, mode="crcw", seed=3
+)
+result = replay_program(spec, emulator)
+
+print(f"input keys:      {keys}")
+print(f"sorted on mesh:  {emulator.memory.snapshot(0, 16)}")
+print(f"PRAM steps:      {result.report.pram_steps}")
+print(f"network steps:   {result.report.total_network_steps}")
+print(f"mean step cost:  {result.slowdown:.1f}  (mesh side n = {n})")
+print(f"memory matches:  {result.memory_matches}")
+assert result.memory_matches
+assert emulator.memory.snapshot(0, 16) == sorted(keys)
+
+print("\nPer-step cost: ours (2 phases) vs Karlin–Upfal (4 phases)\n")
+t = Table(["scheme", "request", "reply", "total", "total/n"])
+for name, cls in [("ours (Thm 3.2)", MeshEmulator), ("Karlin–Upfal", KarlinUpfalMeshEmulator)]:
+    side = 12
+    m = 4 * side * side
+    emu = cls(Mesh2D.square(side), address_space=m, seed=5)
+    cost = emu.emulate_step(permutation_step(side * side, m, seed=6))
+    t.add_row([name, cost.request_steps, cost.reply_steps, cost.total_steps,
+               round(cost.total_steps / side, 2)])
+print(t.render())
+print("\nEliminating the two random-intermediate phases halves the cost —")
+print("4n + o(n) instead of ~8n (§3.3).")

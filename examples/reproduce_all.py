@@ -1,0 +1,42 @@
+"""Regenerate every experiment table (E1-E12) and figure (F1-F5).
+
+This is the full evaluation of EXPERIMENTS.md at laptop-scale parameters.
+Takes a few minutes; pass --quick for a subset.
+
+Run:  python examples/reproduce_all.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, all_figures
+
+QUICK = {"E1", "E2", "E3", "E5", "E7", "E8"}
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    names = sorted(ALL_EXPERIMENTS, key=_exp_sort_key)
+    for name in names:
+        if quick and name not in QUICK:
+            continue
+        runner = ALL_EXPERIMENTS[name]
+        t0 = time.time()
+        table = runner()
+        elapsed = time.time() - t0
+        print()
+        print(table.render())
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+    print()
+    print(all_figures())
+
+
+def _exp_sort_key(name: str):
+    import re
+
+    m = re.match(r"E(\d+)([a-z]?)", name)
+    return (int(m.group(1)), m.group(2))
+
+
+if __name__ == "__main__":
+    main()

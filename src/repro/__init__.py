@@ -1,0 +1,50 @@
+"""repro — Emulation of a PRAM on Leveled Networks (Palis, Rajasekaran &
+Wei, ICPP 1991), reproduced as a Python library.
+
+Public API tour:
+
+* ``repro.topology`` — star graph, d-way shuffle, hypercube, butterfly,
+  mesh, and the :class:`~repro.topology.LeveledNetwork` abstraction.
+* ``repro.routing`` — the synchronous machine model and the paper's
+  routing algorithms (Algorithms 2.1-2.3, the §3.4 mesh router).
+* ``repro.hashing`` — the Karlin–Upfal hash family H (§2.1).
+* ``repro.pram`` — a programmable EREW/CREW/CRCW PRAM plus classic
+  parallel programs.
+* ``repro.emulation`` — the emulation engines (Theorems 2.5/2.6, 3.2,
+  3.3) and baselines; ``replay_program`` runs a PRAM program end-to-end
+  on a network.
+* ``repro.analysis`` — executable versions of the paper's bounds.
+* ``repro.experiments`` — the E1-E12 / F1-F5 reproduction suite.
+"""
+
+from repro.emulation import LeveledEmulator, MeshEmulator, replay_program
+from repro.pram import PRAM, AccessMode, WritePolicy
+from repro.routing import LeveledRouter, MeshRouter, ShuffleRouter, StarRouter
+from repro.topology import (
+    DWayShuffle,
+    LeveledNetwork,
+    Mesh2D,
+    StarGraph,
+    StarLogicalLeveled,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AccessMode",
+    "DWayShuffle",
+    "LeveledEmulator",
+    "LeveledNetwork",
+    "LeveledRouter",
+    "Mesh2D",
+    "MeshEmulator",
+    "MeshRouter",
+    "PRAM",
+    "ShuffleRouter",
+    "StarGraph",
+    "StarLogicalLeveled",
+    "StarRouter",
+    "WritePolicy",
+    "__version__",
+    "replay_program",
+]

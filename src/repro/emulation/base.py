@@ -1,0 +1,113 @@
+"""Emulator interfaces and reports (§2.4, §3.3).
+
+One PRAM instruction is emulated as: hash the touched addresses to
+modules, route request packets, perform the memory operations, route read
+replies back.  An :class:`EmulationReport` records the network cost of
+every emulated step so experiments can check the paper's bounds
+(Theorems 2.5/2.6: Õ(ℓ); Theorem 3.2: 4n + o(n); Theorem 3.3: 6δ + o(δ)).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.pram.trace import MemoryTrace, StepTrace
+from repro.util.stats import Summary, summarize
+
+
+@dataclass
+class StepCost:
+    """Network cost of emulating one PRAM step."""
+
+    request_steps: int
+    reply_steps: int
+    rehashes: int = 0
+    combines: int = 0
+    max_queue: int = 0
+    requests: int = 0
+
+    @property
+    def total_steps(self) -> int:
+        return self.request_steps + self.reply_steps
+
+
+@dataclass
+class EmulationReport:
+    """Aggregate outcome of emulating a trace."""
+
+    costs: list[StepCost] = field(default_factory=list)
+    #: reference scale (network diameter or mesh side) for normalization
+    scale: float = 1.0
+
+    def add(self, cost: StepCost) -> None:
+        self.costs.append(cost)
+
+    @property
+    def pram_steps(self) -> int:
+        return len(self.costs)
+
+    @property
+    def total_network_steps(self) -> int:
+        return sum(c.total_steps for c in self.costs)
+
+    @property
+    def total_rehashes(self) -> int:
+        return sum(c.rehashes for c in self.costs)
+
+    @property
+    def total_combines(self) -> int:
+        return sum(c.combines for c in self.costs)
+
+    @property
+    def max_queue(self) -> int:
+        return max((c.max_queue for c in self.costs), default=0)
+
+    @property
+    def mean_step_time(self) -> float:
+        if not self.costs:
+            return 0.0
+        return self.total_network_steps / len(self.costs)
+
+    @property
+    def max_step_time(self) -> int:
+        return max((c.total_steps for c in self.costs), default=0)
+
+    def normalized_step_times(self) -> list[float]:
+        """Per-step total time divided by the reference scale — the
+        quantity the theorems bound by a constant."""
+        return [c.total_steps / self.scale for c in self.costs]
+
+    def step_time_summary(self) -> Summary:
+        return summarize(c.total_steps for c in self.costs)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EmulationReport(steps={self.pram_steps}, "
+            f"mean={self.mean_step_time:.1f}, max={self.max_step_time}, "
+            f"scale={self.scale}, rehashes={self.total_rehashes})"
+        )
+
+
+class Emulator(ABC):
+    """A machine that executes PRAM memory traces on a network."""
+
+    @abstractmethod
+    def emulate_step(self, step: StepTrace) -> StepCost:
+        """Emulate one PRAM instruction; returns its network cost."""
+
+    @property
+    @abstractmethod
+    def scale(self) -> float:
+        """Normalization scale (diameter-like) for the report."""
+
+    def emulate_trace(self, trace: MemoryTrace | Sequence[StepTrace]) -> EmulationReport:
+        report = EmulationReport(scale=self.scale)
+        steps = trace.steps if isinstance(trace, MemoryTrace) else list(trace)
+        for step in steps:
+            if step.num_requests == 0:
+                report.add(StepCost(0, 0))
+                continue
+            report.add(self.emulate_step(step))
+        return report

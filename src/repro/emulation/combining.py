@@ -1,0 +1,106 @@
+"""Reply fan-out along combining trees (Theorem 2.6, footnote 3).
+
+When concurrent requests to the same address are combined on the way to
+the memory module, the single reply must fan back out so that *every*
+requesting processor receives its value.  The paper stores "log d
+direction bits" at each merge; we keep the equivalent information as the
+absorbed packets' traversed prefixes.
+
+Given a delivered request packet (the *host*, carrying its combining tree)
+this module builds the reply packets and the spawn rule:
+
+* the host's reply walks the host's path in reverse;
+* when a reply reaches the node where a child was absorbed, the child's
+  reply is spawned there and walks the child's own prefix in reverse;
+* recursively for children of children.
+
+Requests routed with ``track_paths=True`` have everything needed.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.routing.packet import Packet
+
+
+def reverse_path_of(request: Packet) -> list[Hashable]:
+    """Remaining reply path for *request*: its trace reversed, excluding
+    the node the reply starts at (= the trace's last entry)."""
+    if request.trace is None:
+        raise ValueError(
+            f"packet {request.pid} has no trace; route requests with "
+            "track_paths=True to enable reply fan-out"
+        )
+    return list(reversed(request.trace))[1:]
+
+
+def make_reply(request: Packet, pid: int, value=None) -> Packet:
+    """Build the reply packet for a delivered (host) request packet.
+
+    The reply's ``state`` is ``(path, index, request)``: the reverse path
+    to walk, the current position, and the originating request (for
+    locating children).  ``dest`` is the requester's source node.
+    """
+    reply = Packet(
+        pid,
+        request.node,
+        request.source,
+        kind="reply",
+        address=request.address,
+        payload=value,
+    )
+    reply.state = (reverse_path_of(request), 0, request)
+    return reply
+
+
+def reply_next_hop(reply: Packet):
+    """Engine next-hop policy: follow the stored reverse path."""
+    path, idx, request = reply.state
+    if idx >= len(path):
+        return None
+    reply.state = (path, idx + 1, request)
+    return path[idx]
+
+
+class ReplySpawner:
+    """``on_arrival`` hook spawning child replies at merge points."""
+
+    def __init__(self) -> None:
+        self._next_pid = 10_000_000  # disjoint from request pids
+        self._done: set[int] = set()  # child request pids already spawned
+        self.spawned = 0
+
+    def _fresh_pid(self) -> int:
+        self._next_pid += 1
+        return self._next_pid
+
+    def __call__(self, reply: Packet):
+        if reply.kind != "reply":
+            return None
+        _path, _idx, request = reply.state
+        children = request.children
+        if not children:
+            return None
+        here = reply.node
+        out = []
+        for child in children:
+            # A mesh reply may revisit a node (stage-0/stage-2 overlap in
+            # the same column), so guard against double-spawning.
+            if child.pid in self._done:
+                continue
+            if child.trace and child.trace[-1] == here:
+                child_reply = make_reply(child, self._fresh_pid(), reply.payload)
+                child_reply.node = here
+                out.append(child_reply)
+                self._done.add(child.pid)
+                self.spawned += 1
+        return out or None
+
+
+def build_replies(hosts: list[Packet], values: dict[int, object], pid_base: int = 0):
+    """Reply packets for delivered hosts; values keyed by host pid."""
+    replies = []
+    for i, host in enumerate(hosts):
+        replies.append(make_reply(host, pid_base + i, values.get(host.pid)))
+    return replies

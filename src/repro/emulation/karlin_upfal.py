@@ -1,0 +1,109 @@
+"""The Karlin–Upfal 4-phase emulation scheme (§3.3), our ≈2× baseline.
+
+Karlin and Upfal route every request through a *random* processor before
+its true target, and every reply through another random processor — two
+extra phases that "are there only to simplify the analysis, and can indeed
+be eliminated" (§3.3).  On the mesh this costs ≈ 8n + o(n) per step versus
+our algorithm's 4n + o(n); experiment E10 measures the factor-2 gap.
+
+    1. processor i's request is sent to a random processor k;
+    2. from k the request is sent to processor h(j);
+    3. if the request was 'read', h(j) sends the packet to a random
+       processor;
+    4. finally the packet is sent to processor i.
+"""
+
+from __future__ import annotations
+
+from repro.emulation.base import Emulator, StepCost
+from repro.emulation.mesh import MeshEmulator
+from repro.pram.trace import StepTrace
+from repro.pram.variants import resolve_writes
+from repro.routing.mesh_router import MeshRouter
+from repro.routing.packet import Packet
+
+
+class KarlinUpfalMeshEmulator(MeshEmulator):
+    """4-phase variant of the mesh emulator (EREW workloads)."""
+
+    def __init__(self, mesh, address_space, **kwargs) -> None:
+        kwargs.setdefault("mode", "erew")
+        if kwargs["mode"] != "erew":
+            raise ValueError("the Karlin–Upfal baseline is measured on EREW traces")
+        super().__init__(mesh, address_space, **kwargs)
+
+    def _route_leg(self, sources, dests, kinds_addrs_payloads):
+        router = MeshRouter(
+            self.mesh,
+            seed=self.rng,
+            slice_rows=self.slice_rows,
+            node_capacity=self.node_capacity,
+        )
+        packets = [
+            Packet(i, int(s), int(d), kind=k, address=a, payload=v)
+            for i, (s, d, (k, a, v)) in enumerate(
+                zip(sources, dests, kinds_addrs_payloads)
+            )
+        ]
+        n = self.mesh.rows + self.mesh.cols
+        stats = router.route(None, None, max_steps=500 * n + 2000, packets=packets)
+        if not stats.completed:
+            raise RuntimeError("Karlin–Upfal leg did not complete")
+        return packets, stats
+
+    def emulate_step(self, step: StepTrace) -> StepCost:
+        if not step.is_erew():
+            raise ValueError("Karlin–Upfal baseline requires EREW steps")
+
+        n_nodes = self.mesh.num_nodes
+        reqs = [("read", r.pid, r.addr, None) for r in step.reads] + [
+            ("write", w.pid, w.addr, w.value) for w in step.writes
+        ]
+        sources = [pid for _, pid, _, _ in reqs]
+        modules = [self.module_of(addr) for _, _, addr, _ in reqs]
+        meta = [(kind, addr, val) for kind, _, addr, val in reqs]
+
+        # Phase 1: to a random processor each.
+        rand1 = self.rng.integers(0, n_nodes, size=len(reqs)).tolist()
+        _, s1 = self._route_leg(sources, rand1, meta)
+        # Phase 2: random processor -> memory module h(addr).
+        _, s2 = self._route_leg(rand1, modules, meta)
+
+        # Memory operations (reads pre-step, then writes).
+        read_values = {}
+        for i, (kind, addr, _val) in enumerate(meta):
+            if kind == "read":
+                read_values[i] = self.memory.read(addr)
+        by_addr: dict[int, list[tuple[int, object]]] = {}
+        for i, (kind, addr, val) in enumerate(meta):
+            if kind == "write":
+                by_addr.setdefault(addr, []).append((i, val))
+        for addr, writers in by_addr.items():
+            self.memory.write(
+                addr,
+                resolve_writes(sorted(writers), self.write_policy, self.combine_op),
+            )
+
+        reply_steps = 0
+        max_queue = max(s1.max_queue, s2.max_queue)
+        read_idx = [i for i, (kind, _, _) in enumerate(meta) if kind == "read"]
+        if read_idx:
+            r_modules = [modules[i] for i in read_idx]
+            r_meta = [("reply", meta[i][1], read_values[i]) for i in read_idx]
+            r_sources = [sources[i] for i in read_idx]
+            # Phase 3: module -> another random processor.
+            rand2 = self.rng.integers(0, n_nodes, size=len(read_idx)).tolist()
+            _, s3 = self._route_leg(r_modules, rand2, r_meta)
+            # Phase 4: random processor -> original requester.
+            _, s4 = self._route_leg(rand2, r_sources, r_meta)
+            reply_steps = s3.steps + s4.steps
+            max_queue = max(max_queue, s3.max_queue, s4.max_queue)
+
+        return StepCost(
+            request_steps=s1.steps + s2.steps,
+            reply_steps=reply_steps,
+            rehashes=0,
+            combines=0,
+            max_queue=max_queue,
+            requests=step.num_requests,
+        )

@@ -1,0 +1,245 @@
+"""PRAM emulation on leveled networks (§2.1, §2.4; Theorems 2.5 & 2.6).
+
+The pipeline per PRAM step:
+
+1. every request's address is hashed with the Karlin–Upfal h ∈ H to a
+   memory module (a last-column row);
+2. request packets are routed by the universal algorithm (Algorithm 2.1 /
+   2.2 / 2.3 via :class:`LeveledRouter`), combining concurrent accesses in
+   CRCW mode (Theorem 2.6);
+3. modules perform the memory operations — reads see pre-step memory,
+   write conflicts resolve per :class:`WritePolicy`;
+4. read replies fan back out along the reversed request paths, splitting
+   at the combining-tree merge points.
+
+If the request phase misses its time allotment, a new hash function is
+chosen and the step restarts — "if within the allotted time the
+communication has not been completed, a designated processor chooses a new
+hash function, and all the M memory locations are remapped" (§2.1).
+Rehash events are counted; Lemma 2.2 predicts they are vanishingly rare.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.emulation.base import Emulator, StepCost
+from repro.emulation.combining import ReplySpawner, build_replies, reply_next_hop
+from repro.hashing.family import HashFamily, degree_for_diameter
+from repro.pram.memory import SharedMemory
+from repro.pram.trace import StepTrace
+from repro.pram.variants import WritePolicy, resolve_writes
+from repro.routing.engine import SynchronousEngine
+from repro.routing.leveled_router import LeveledRouter
+from repro.routing.packet import Packet
+from repro.topology.leveled import LeveledNetwork
+from repro.util.rng import as_generator
+
+
+class LeveledEmulator(Emulator):
+    """Emulate a PRAM on a leveled network.
+
+    Parameters
+    ----------
+    net:
+        The emulating leveled network (star logical net, shuffle, d-ary
+        butterfly, ...); processors are column-0 rows, memory modules are
+        last-column rows.
+    address_space:
+        M — the emulated PRAM's shared-memory size.
+    mode:
+        "erew" routes requests without combining (Theorem 2.5);
+        "crcw" enables combining + tree fan-out replies (Theorem 2.6).
+    intermediate:
+        Phase-1 flavor of the universal algorithm ("coin" = Algorithm 2.1,
+        "node" = Algorithms 2.2/2.3).
+    rehash_factor:
+        Time allotment per routing phase, as a multiple of the 2L path
+        length; exceeding it triggers a rehash.
+    """
+
+    def __init__(
+        self,
+        net: LeveledNetwork,
+        address_space: int,
+        *,
+        mode: Literal["erew", "crcw"] = "crcw",
+        write_policy: WritePolicy = WritePolicy.ARBITRARY,
+        combine_op: str = "sum",
+        intermediate: Literal["coin", "node"] = "coin",
+        hash_c: float = 1.0,
+        rehash_factor: float = 8.0,
+        max_rehashes: int = 8,
+        seed=None,
+        validate: bool = True,
+    ) -> None:
+        if mode not in ("erew", "crcw"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.net = net
+        self.mode = mode
+        self.write_policy = write_policy
+        self.combine_op = combine_op
+        self.intermediate = intermediate
+        self.rehash_factor = rehash_factor
+        self.max_rehashes = max_rehashes
+        self.validate = validate
+        self.rng = as_generator(seed)
+        self.memory = SharedMemory(address_space)
+
+        diameter = 2 * net.num_levels  # request path length in the network
+        self.family = HashFamily(
+            address_space, net.column_size, degree_for_diameter(diameter, hash_c)
+        )
+        self.hash = self.family.sample(self.rng)
+        self.rehash_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def scale(self) -> float:
+        """2L: one pass through the leveled structure each way."""
+        return 2.0 * self.net.num_levels
+
+    @property
+    def n_processors(self) -> int:
+        return self.net.column_size
+
+    def rehash(self) -> None:
+        """Draw a fresh hash function (the §2.1 recovery action)."""
+        self.hash = self.family.sample(self.rng)
+        self.rehash_count += 1
+
+    # ------------------------------------------------------------------
+    def _build_request_packets(self, step: StepTrace) -> list[Packet]:
+        packets: list[Packet] = []
+        pid = 0
+        for r in step.reads:
+            if r.pid >= self.n_processors:
+                raise ValueError(
+                    f"processor {r.pid} exceeds network size {self.n_processors}"
+                )
+            p = Packet(
+                pid,
+                (0, 0, r.pid),
+                int(self.hash(r.addr)),
+                kind="read",
+                address=r.addr,
+            )
+            packets.append(p)
+            pid += 1
+        for w in step.writes:
+            if w.pid >= self.n_processors:
+                raise ValueError(
+                    f"processor {w.pid} exceeds network size {self.n_processors}"
+                )
+            p = Packet(
+                pid,
+                (0, 0, w.pid),
+                int(self.hash(w.addr)),
+                kind="write",
+                address=w.addr,
+                payload=w.value,
+            )
+            packets.append(p)
+            pid += 1
+        return packets
+
+    def _route_requests(self, step: StepTrace):
+        """Route the step's requests; rehash + retry on timeout."""
+        L = self.net.num_levels
+        # Allotment below the 2L path length guarantees timeouts; that is
+        # intentional (tests force rehash storms this way).
+        allotment = max(int(self.rehash_factor * 2 * L), 1)
+        rehashes = 0
+        for attempt in range(self.max_rehashes + 1):
+            router = LeveledRouter(
+                self.net,
+                intermediate=self.intermediate,
+                seed=self.rng,
+                combine=(self.mode == "crcw"),
+                track_paths=True,
+            )
+            packets = self._build_request_packets(step)
+            stats = router.route_packets(packets, max_steps=allotment)
+            if stats.completed:
+                return packets, stats, rehashes
+            if attempt < self.max_rehashes:
+                self.rehash()
+                rehashes += 1
+        # Last resort: generous budget so the emulation still terminates.
+        router = LeveledRouter(
+            self.net,
+            intermediate=self.intermediate,
+            seed=self.rng,
+            combine=(self.mode == "crcw"),
+            track_paths=True,
+        )
+        packets = self._build_request_packets(step)
+        stats = router.route_packets(packets, max_steps=400 * L + 1000)
+        if not stats.completed:
+            raise RuntimeError("request routing failed even after rehashes")
+        return packets, stats, rehashes
+
+    # ------------------------------------------------------------------
+    def emulate_step(self, step: StepTrace) -> StepCost:
+        if self.mode == "erew" and not step.is_erew():
+            raise ValueError(
+                "EREW emulator given a step with concurrent accesses; "
+                "use mode='crcw'"
+            )
+
+        packets, req_stats, rehashes = self._route_requests(step)
+        hosts = [p for p in packets if not p.combined]
+
+        # Memory semantics: reads see pre-step state, then writes land.
+        read_hosts = [p for p in hosts if p.kind == "read"]
+        values = {p.pid: self.memory.read(p.address) for p in read_hosts}
+        write_hosts = [p for p in hosts if p.kind == "write"]
+        by_addr: dict[int, list[tuple[int, object]]] = {}
+        for host in write_hosts:
+            for w in host.all_represented():
+                # w.source == (0, 0, processor id); conflict resolution
+                # must use the PRAM processor id, not the packet id.
+                by_addr.setdefault(w.address, []).append((w.source[2], w.payload))
+        for addr, writers in by_addr.items():
+            self.memory.write(
+                addr, resolve_writes(sorted(writers), self.write_policy, self.combine_op)
+            )
+
+        # Reply phase (reads only): reverse paths + combining-tree fan-out.
+        reply_steps = 0
+        max_queue = req_stats.max_queue
+        if read_hosts:
+            replies = build_replies(read_hosts, values)
+            spawner = ReplySpawner()
+            engine = SynchronousEngine()
+            L = self.net.num_levels
+            reply_stats = engine.run(
+                replies,
+                reply_next_hop,
+                max_steps=int(self.rehash_factor * 4 * L) + 1000,
+                on_arrival=spawner,
+            )
+            if not reply_stats.completed:
+                raise RuntimeError("reply routing did not complete")
+            reply_steps = reply_stats.steps
+            max_queue = max(max_queue, reply_stats.max_queue)
+            if self.validate:
+                self._check_replies(step, packets, spawner, replies)
+
+        return StepCost(
+            request_steps=req_stats.steps,
+            reply_steps=reply_steps,
+            rehashes=rehashes,
+            combines=req_stats.combines,
+            max_queue=max_queue,
+            requests=step.num_requests,
+        )
+
+    def _check_replies(self, step, packets, spawner, root_replies) -> None:
+        """Every read request must have produced a correctly-valued reply."""
+        n_reads = len(step.reads)
+        total_replies = len(root_replies) + spawner.spawned
+        if total_replies != n_reads:
+            raise AssertionError(
+                f"{n_reads} reads but {total_replies} replies delivered"
+            )

@@ -1,0 +1,238 @@
+"""PRAM emulation on the n x n mesh (§3.3; Theorems 3.2 & 3.3).
+
+Our algorithm has exactly two routing phases (the paper's improvement over
+Karlin–Upfal's four):
+
+1. processor (i, j) sends its request straight to module h(addr);
+2. for reads, the module sends the value straight back.
+
+Each phase is one run of the 3-stage randomized mesh router (Theorem 3.1:
+2n + o(n)), so a full EREW step costs 4n + o(n) (Theorem 3.2).
+
+Locality (Theorem 3.3): with *direct placement* (address a lives at node
+a) and every request within Manhattan distance δ of its target, the same
+algorithm — with the stage-1 random offset confined to an o(δ) slice —
+finishes in 6δ + o(δ) steps.  Hashed placement would destroy locality, so
+the locality mode switches placement to direct, exactly as the paper's
+statement presumes requests "originate within a distance d of the
+location of the memory".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal
+
+from repro.emulation.base import Emulator, StepCost
+from repro.emulation.combining import ReplySpawner, build_replies, reply_next_hop
+from repro.hashing.family import HashFamily, degree_for_diameter
+from repro.pram.memory import SharedMemory
+from repro.pram.trace import StepTrace
+from repro.pram.variants import WritePolicy, resolve_writes
+from repro.routing.engine import SynchronousEngine
+from repro.routing.mesh_router import MeshRouter
+from repro.routing.packet import Packet
+from repro.topology.mesh import Mesh2D
+from repro.util.rng import as_generator
+
+
+def locality_slice_rows(delta: int) -> int:
+    """An o(δ) slice height for the locality mode: δ / log₂(δ+2)."""
+    return max(1, round(delta / math.log2(delta + 2)))
+
+
+class MeshEmulator(Emulator):
+    """Two-phase PRAM emulation on a mesh-connected computer."""
+
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        address_space: int,
+        *,
+        mode: Literal["erew", "crcw"] = "erew",
+        write_policy: WritePolicy = WritePolicy.ARBITRARY,
+        combine_op: str = "sum",
+        placement: Literal["hash", "direct"] = "hash",
+        slice_rows: int | None = None,
+        hash_c: float = 1.0,
+        rehash_factor: float = 8.0,
+        max_rehashes: int = 8,
+        node_capacity: int | None = None,
+        seed=None,
+        validate: bool = True,
+    ) -> None:
+        if mode not in ("erew", "crcw"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if placement not in ("hash", "direct"):
+            raise ValueError(f"unknown placement {placement!r}")
+        self.mesh = mesh
+        self.mode = mode
+        self.write_policy = write_policy
+        self.combine_op = combine_op
+        self.placement = placement
+        self.slice_rows = slice_rows
+        self.rehash_factor = rehash_factor
+        self.max_rehashes = max_rehashes
+        self.node_capacity = node_capacity
+        self.validate = validate
+        self.rng = as_generator(seed)
+        self.memory = SharedMemory(address_space)
+
+        n = mesh.num_nodes
+        if placement == "direct" and address_space > n:
+            raise ValueError(
+                "direct placement needs address_space <= number of nodes"
+            )
+        self.family = HashFamily(
+            address_space, n, degree_for_diameter(mesh.diameter, hash_c)
+        )
+        self.hash = self.family.sample(self.rng)
+        self.rehash_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def scale(self) -> float:
+        """n (the mesh side): Theorem 3.2's bound is 4n + o(n)."""
+        return float(self.mesh.rows)
+
+    def module_of(self, addr: int) -> int:
+        if self.placement == "direct":
+            return addr
+        return int(self.hash(addr))
+
+    def rehash(self) -> None:
+        self.hash = self.family.sample(self.rng)
+        self.rehash_count += 1
+
+    def _make_router(self) -> MeshRouter:
+        return MeshRouter(
+            self.mesh,
+            seed=self.rng,
+            slice_rows=self.slice_rows,
+            node_capacity=self.node_capacity,
+            track_paths=(self.mode == "crcw"),
+            combine=(self.mode == "crcw"),
+        )
+
+    # ------------------------------------------------------------------
+    def _build_request_packets(self, step: StepTrace) -> list[Packet]:
+        packets: list[Packet] = []
+        pid = 0
+        n = self.mesh.num_nodes
+        for r in step.reads:
+            if r.pid >= n:
+                raise ValueError(f"processor {r.pid} exceeds mesh size {n}")
+            packets.append(
+                Packet(pid, r.pid, self.module_of(r.addr), kind="read", address=r.addr)
+            )
+            pid += 1
+        for w in step.writes:
+            if w.pid >= n:
+                raise ValueError(f"processor {w.pid} exceeds mesh size {n}")
+            packets.append(
+                Packet(
+                    pid,
+                    w.pid,
+                    self.module_of(w.addr),
+                    kind="write",
+                    address=w.addr,
+                    payload=w.value,
+                )
+            )
+            pid += 1
+        return packets
+
+    def _route_requests(self, step: StepTrace):
+        n = self.mesh.rows + self.mesh.cols
+        allotment = max(int(self.rehash_factor * n), n + 4)
+        rehashes = 0
+        for _attempt in range(self.max_rehashes + 1):
+            router = self._make_router()
+            packets = self._build_request_packets(step)
+            stats = router.route(None, None, max_steps=allotment, packets=packets)
+            if stats.completed:
+                return packets, stats, rehashes
+            if self.placement == "direct":
+                break  # rehashing cannot help direct placement
+            self.rehash()
+            rehashes += 1
+        router = self._make_router()
+        packets = self._build_request_packets(step)
+        stats = router.route(None, None, max_steps=500 * n + 2000, packets=packets)
+        if not stats.completed:
+            raise RuntimeError("mesh request routing failed after rehashes")
+        return packets, stats, rehashes
+
+    # ------------------------------------------------------------------
+    def emulate_step(self, step: StepTrace) -> StepCost:
+        if self.mode == "erew" and not step.is_erew():
+            raise ValueError(
+                "EREW mesh emulator given concurrent accesses; use mode='crcw'"
+            )
+
+        packets, req_stats, rehashes = self._route_requests(step)
+        hosts = [p for p in packets if not p.combined]
+        read_hosts = [p for p in hosts if p.kind == "read"]
+        values = {p.pid: self.memory.read(p.address) for p in read_hosts}
+        write_hosts = [p for p in hosts if p.kind == "write"]
+        by_addr: dict[int, list[tuple[int, object]]] = {}
+        for host in write_hosts:
+            for w in host.all_represented():
+                # w.source is the requesting processor's node id on the mesh
+                by_addr.setdefault(w.address, []).append((w.source, w.payload))
+        for addr, writers in by_addr.items():
+            self.memory.write(
+                addr,
+                resolve_writes(sorted(writers), self.write_policy, self.combine_op),
+            )
+
+        reply_steps = 0
+        max_queue = req_stats.max_queue
+        if read_hosts:
+            if self.mode == "crcw":
+                reply_stats = self._replies_reverse_path(read_hosts, values)
+            else:
+                reply_stats = self._replies_fresh_route(read_hosts, values)
+            reply_steps = reply_stats.steps
+            max_queue = max(max_queue, reply_stats.max_queue)
+
+        return StepCost(
+            request_steps=req_stats.steps,
+            reply_steps=reply_steps,
+            rehashes=rehashes,
+            combines=req_stats.combines,
+            max_queue=max_queue,
+            requests=step.num_requests,
+        )
+
+    def _replies_fresh_route(self, read_hosts, values):
+        """EREW replies: an independent run of the 3-stage router from the
+        modules back to the requesting processors (the paper's phase 2)."""
+        router = self._make_router()
+        replies = [
+            Packet(i, host.node, host.source, kind="reply", payload=values[host.pid])
+            for i, host in enumerate(read_hosts)
+        ]
+        n = self.mesh.rows + self.mesh.cols
+        stats = router.route(None, None, max_steps=500 * n + 2000, packets=replies)
+        if not stats.completed:
+            raise RuntimeError("mesh reply routing did not complete")
+        if self.validate and stats.delivered != len(read_hosts):
+            raise AssertionError("lost replies in mesh emulation")
+        return stats
+
+    def _replies_reverse_path(self, read_hosts, values):
+        """CRCW replies: reverse the request paths, splitting at merges."""
+        replies = build_replies(read_hosts, values)
+        spawner = ReplySpawner()
+        engine = SynchronousEngine()
+        n = self.mesh.rows + self.mesh.cols
+        stats = engine.run(
+            replies,
+            reply_next_hop,
+            max_steps=500 * n + 2000,
+            on_arrival=spawner,
+        )
+        if not stats.completed:
+            raise RuntimeError("mesh reverse-path replies did not complete")
+        return stats

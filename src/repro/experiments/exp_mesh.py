@@ -1,0 +1,220 @@
+"""E7/E8/E9 — the mesh results: Theorems 3.1, 3.2, 3.3 (+ ablations).
+
+E7: the 3-stage routing algorithm's time → 2n + o(n), queue O(log n).
+E8: full EREW emulation → 4n + o(n).
+E9: locality → 6δ + o(δ), independent of n.
+Ablations: furthest-first vs FIFO; slice height ε; O(1)-queue variant;
+the §3.4.1 linear-array primitive.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.theory import (
+    MESH_EMULATION_CLAIM,
+    MESH_LOCALITY_CLAIM,
+    MESH_ROUTING_CLAIM,
+)
+from repro.emulation.mesh import MeshEmulator, locality_slice_rows
+from repro.experiments.harness import rows_to_table, run_sweep
+from repro.pram.trace import local_step_for_mesh, permutation_step
+from repro.routing.linear import random_linear_instance, route_linear
+from repro.routing.mesh_router import MeshRouter
+from repro.topology.mesh import Mesh2D
+from repro.util.tables import Table
+
+
+def run_e7(ns=(8, 16, 24, 32), *, trials: int = 3, seed=41, discipline="furthest_first") -> Table:
+    def trial(rng, *, n: int) -> dict:
+        mesh = Mesh2D.square(n)
+        router = MeshRouter(mesh, seed=rng, discipline=discipline)
+        stats = router.route_permutation(rng.permutation(n * n))
+        assert stats.completed
+        return {
+            "time": stats.steps,
+            "time/n": stats.steps / n,
+            "bound(2n+o)": MESH_ROUTING_CLAIM.bound(n),
+            "max_queue": stats.max_queue,
+            "queue/log2n": stats.max_queue / math.log2(n),
+        }
+
+    rows = run_sweep(trial, [{"n": n} for n in ns], trials=trials, seed=seed)
+    return rows_to_table(
+        rows,
+        ["n"],
+        [
+            ("time", "mean"),
+            ("time/n", "mean"),
+            ("bound(2n+o)", "mean"),
+            ("max_queue", "max"),
+            ("queue/log2n", "max"),
+        ],
+        title="E7  Theorem 3.1: 3-stage mesh routing in 2n + o(n), queue O(log n)",
+        caption="Check: time/n → 2 from above as n grows; queue/log2(n) bounded.",
+    )
+
+
+def run_e8(ns=(8, 16, 24), *, trials: int = 3, seed=42) -> Table:
+    def trial(rng, *, n: int) -> dict:
+        emu = MeshEmulator(Mesh2D.square(n), address_space=4 * n * n, seed=rng)
+        step = permutation_step(n * n, 4 * n * n, seed=rng)
+        cost = emu.emulate_step(step)
+        return {
+            "time": cost.total_steps,
+            "time/n": cost.total_steps / n,
+            "bound(4n+o)": MESH_EMULATION_CLAIM.bound(n),
+            "request": cost.request_steps,
+            "reply": cost.reply_steps,
+            "rehashes": cost.rehashes,
+        }
+
+    rows = run_sweep(trial, [{"n": n} for n in ns], trials=trials, seed=seed)
+    return rows_to_table(
+        rows,
+        ["n"],
+        [
+            ("time", "mean"),
+            ("time/n", "mean"),
+            ("bound(4n+o)", "mean"),
+            ("request", "mean"),
+            ("reply", "mean"),
+            ("rehashes", "max"),
+        ],
+        title="E8  Theorem 3.2: EREW PRAM step on the mesh in 4n + o(n)",
+        caption=(
+            "Two phases of 2n + o(n) each.  Check: time/n → 4 from above; "
+            "rehashes ≈ 0."
+        ),
+    )
+
+
+def run_e9(deltas=(2, 4, 8), n: int = 24, *, trials: int = 3, seed=43) -> Table:
+    def trial(rng, *, delta: int) -> dict:
+        emu = MeshEmulator(
+            Mesh2D.square(n),
+            address_space=n * n,
+            placement="direct",
+            slice_rows=locality_slice_rows(delta),
+            seed=rng,
+        )
+        step = local_step_for_mesh(n, delta, seed=rng)
+        cost = emu.emulate_step(step)
+        return {
+            "time": cost.total_steps,
+            "time/delta": cost.total_steps / delta,
+            "bound(6d+o)": MESH_LOCALITY_CLAIM.bound(delta),
+            "global_4n": 4 * n,
+        }
+
+    rows = run_sweep(trial, [{"delta": d} for d in deltas], trials=trials, seed=seed)
+    return rows_to_table(
+        rows,
+        ["delta"],
+        [
+            ("time", "mean"),
+            ("time/delta", "mean"),
+            ("bound(6d+o)", "mean"),
+            ("global_4n", "mean"),
+        ],
+        title=f"E9  Theorem 3.3: δ-local requests on a {n}x{n} mesh in 6δ + o(δ)",
+        caption=(
+            "Check: time scales with δ, not n (compare the 4n column); "
+            "time/δ bounded by ~6 plus lower-order terms."
+        ),
+    )
+
+
+def run_e7_discipline_ablation(n: int = 16, *, trials: int = 3, seed=44) -> Table:
+    def trial(rng, *, discipline: str) -> dict:
+        mesh = Mesh2D.square(n)
+        router = MeshRouter(mesh, seed=rng, discipline=discipline)
+        stats = router.route_permutation(rng.permutation(n * n))
+        assert stats.completed
+        return {"time": stats.steps, "time/n": stats.steps / n, "max_queue": stats.max_queue}
+
+    rows = run_sweep(
+        trial,
+        [{"discipline": "furthest_first"}, {"discipline": "fifo"}],
+        trials=trials,
+        seed=seed,
+    )
+    return rows_to_table(
+        rows,
+        ["discipline"],
+        [("time", "mean"), ("time/n", "mean"), ("max_queue", "max")],
+        title="E7b  Ablation: furthest-destination-first vs FIFO (n=16)",
+        caption=(
+            "Theorem 3.1's analysis needs furthest-first; at permutation "
+            "load the queues stay tiny and FIFO measures identically — "
+            "the discipline is insurance for heavy/adversarial stages, "
+            "not a steady-state speedup."
+        ),
+    )
+
+
+def run_e7_slice_ablation(n: int = 16, *, trials: int = 3, seed=45) -> Table:
+    def trial(rng, *, slice_rows: int) -> dict:
+        mesh = Mesh2D.square(n)
+        router = MeshRouter(mesh, seed=rng, slice_rows=slice_rows)
+        stats = router.route_permutation(rng.permutation(n * n))
+        assert stats.completed
+        return {"time": stats.steps, "time/n": stats.steps / n, "max_queue": stats.max_queue}
+
+    choices = [1, max(1, round(n / math.log2(n))), n // 2, n]
+    rows = run_sweep(
+        trial, [{"slice_rows": s} for s in dict.fromkeys(choices)], trials=trials, seed=seed
+    )
+    return rows_to_table(
+        rows,
+        ["slice_rows"],
+        [("time", "mean"), ("time/n", "mean"), ("max_queue", "max")],
+        title="E7c  Ablation: stage-1 slice height (ε n) on a 16x16 mesh",
+        caption=(
+            "ε = 1/log n (the paper's choice) balances stage-1 cost o(n) "
+            "against stage-2 congestion; ε = 1 doubles the route."
+        ),
+    )
+
+
+def run_e7_queue_variant(n: int = 16, *, trials: int = 3, seed=46) -> Table:
+    def trial(rng, *, cap) -> dict:
+        mesh = Mesh2D.square(n)
+        router = MeshRouter(mesh, seed=rng, node_capacity=cap)
+        stats = router.route_permutation(rng.permutation(n * n))
+        assert stats.completed
+        return {
+            "time": stats.steps,
+            "time/n": stats.steps / n,
+            "max_node_load": stats.max_node_load,
+        }
+
+    rows = run_sweep(
+        trial, [{"cap": None}, {"cap": 8}, {"cap": 4}], trials=trials, seed=seed
+    )
+    return rows_to_table(
+        rows,
+        ["cap"],
+        [("time", "mean"), ("time/n", "mean"), ("max_node_load", "max")],
+        title="E7d  O(1)-queue variant (backpressure), cf. [6] / Corollary 3.3",
+        caption="Bounded node buffers preserve 2n + o(n) while capping queues.",
+    )
+
+
+def run_linear_primitive(ns=(32, 64, 128), *, trials: int = 3, seed=47) -> Table:
+    def trial(rng, *, n: int) -> dict:
+        origins, dests = random_linear_instance(n, n, seed=rng)
+        stats = route_linear(n, origins, dests)
+        assert stats.completed
+        return {"time": stats.steps, "time/n": stats.steps / n, "max_queue": stats.max_queue}
+
+    rows = run_sweep(trial, [{"n": n} for n in ns], trials=trials, seed=seed)
+    return rows_to_table(
+        rows,
+        ["n"],
+        [("time", "mean"), ("time/n", "mean"), ("max_queue", "max")],
+        title="E7e  §3.4.1 primitive: n' random packets on a linear array in n' + o(n)",
+        caption="Furthest-destination-first keeps the 1-D stage time near n.",
+    )

@@ -1,0 +1,219 @@
+"""The PRAM machine (§1): N processors + shared memory, synchronous steps.
+
+Processor programs are Python generators.  Each ``yield`` issues at most
+one shared-memory request — exactly the PRAM's "one access per
+instruction" — and local computation between yields is free, matching the
+model's unit-time instruction that bundles a local operation with a memory
+access:
+
+    def program(pid: int, nprocs: int):
+        value = yield Read(addr)          # one PRAM step
+        yield Write(addr2, value + 1)     # another step
+        yield None                        # compute-only step
+        return                            # halt
+
+Within one step every read sees the memory state *before* the step and
+writes are applied at the end (the standard CRCW read-then-write cycle).
+The machine enforces the declared :class:`AccessMode` and resolves CRCW
+write conflicts via :class:`WritePolicy`; every step is recorded into a
+:class:`MemoryTrace` for the network emulators to replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable, Mapping
+
+from repro.pram.memory import SharedMemory
+from repro.pram.trace import MemoryTrace, ReadRequest, StepTrace, WriteRequest
+from repro.pram.variants import (
+    AccessMode,
+    ConcurrentAccessError,
+    WritePolicy,
+    resolve_writes,
+)
+
+
+@dataclass(frozen=True)
+class Read:
+    """Yielded by a program: read shared cell *addr*; the yield evaluates
+    to the cell's value."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """Yielded by a program: write *value* to shared cell *addr*."""
+
+    addr: int
+    value: object
+
+
+ProgramFactory = Callable[[int, int], Generator]
+
+
+class PRAM:
+    """An N-processor PRAM over an M-cell shared memory."""
+
+    def __init__(
+        self,
+        n_procs: int,
+        memory_size: int,
+        *,
+        mode: AccessMode = AccessMode.EREW,
+        write_policy: WritePolicy = WritePolicy.COMMON,
+        combine_op: str = "sum",
+        init: Mapping[int, object] | Iterable | None = None,
+        record_trace: bool = True,
+    ) -> None:
+        if n_procs < 1:
+            raise ValueError("need at least one processor")
+        self.n_procs = n_procs
+        self.mode = mode
+        self.write_policy = write_policy
+        self.combine_op = combine_op
+        self.memory = SharedMemory(memory_size, init)
+        self.record_trace = record_trace
+        self.trace = MemoryTrace(num_processors=n_procs, address_space=memory_size)
+        self._procs: list[Generator | None] = [None] * n_procs
+        self._pending: list[object] = [None] * n_procs
+        self.steps_executed = 0
+
+    # ------------------------------------------------------------------
+    def load(self, program: ProgramFactory) -> None:
+        """Instantiate *program(pid, n_procs)* on every processor."""
+        self._procs = [program(pid, self.n_procs) for pid in range(self.n_procs)]
+        self._pending = [None] * self.n_procs
+        # Prime the generators to their first yield.
+        for pid, gen in enumerate(self._procs):
+            try:
+                self._pending[pid] = ("request", gen.send(None))
+            except StopIteration:
+                self._procs[pid] = None
+                self._pending[pid] = None
+
+    @property
+    def live_processors(self) -> int:
+        return sum(1 for g in self._procs if g is not None)
+
+    # ------------------------------------------------------------------
+    def step(self) -> StepTrace | None:
+        """Execute one synchronous PRAM step; None when all procs halted."""
+        if self.live_processors == 0:
+            return None
+
+        # 1. collect this step's requests (already primed in _pending)
+        reads: list[ReadRequest] = []
+        writes: list[WriteRequest] = []
+        for pid, slot in enumerate(self._pending):
+            if slot is None:
+                continue
+            _tag, req = slot
+            if req is None:
+                continue  # compute-only step
+            if isinstance(req, Read):
+                reads.append(ReadRequest(pid, req.addr))
+            elif isinstance(req, Write):
+                writes.append(WriteRequest(pid, req.addr, req.value))
+            else:
+                raise TypeError(
+                    f"processor {pid} yielded {req!r}; expected Read/Write/None"
+                )
+
+        self._validate(reads, writes)
+
+        # 2. reads see pre-step memory
+        read_results = {r.pid: self.memory.read(r.addr) for r in reads}
+
+        # 3. writes applied at end of step, conflicts resolved per policy
+        by_addr: dict[int, list[tuple[int, object]]] = {}
+        for w in writes:
+            by_addr.setdefault(w.addr, []).append((w.pid, w.value))
+        for addr, writers in by_addr.items():
+            value = resolve_writes(
+                sorted(writers), self.write_policy, self.combine_op
+            )
+            self.memory.write(addr, value)
+
+        if self.record_trace:
+            self.trace.steps.append(StepTrace(reads=reads, writes=writes))
+        self.steps_executed += 1
+
+        # 4. resume every live processor with its result, collect next req
+        for pid, gen in enumerate(self._procs):
+            if gen is None:
+                continue
+            try:
+                nxt = gen.send(read_results.get(pid))
+                self._pending[pid] = ("request", nxt)
+            except StopIteration:
+                self._procs[pid] = None
+                self._pending[pid] = None
+
+        return self.trace.steps[-1] if self.record_trace else StepTrace(reads, writes)
+
+    def run(self, *, max_steps: int = 100_000) -> MemoryTrace:
+        """Step until every processor halts (or raise past *max_steps*)."""
+        while self.live_processors > 0:
+            if self.steps_executed >= max_steps:
+                raise RuntimeError(
+                    f"PRAM exceeded {max_steps} steps with "
+                    f"{self.live_processors} processors live"
+                )
+            self.step()
+        return self.trace
+
+    # ------------------------------------------------------------------
+    def _validate(
+        self, reads: list[ReadRequest], writes: list[WriteRequest]
+    ) -> None:
+        if self.mode is AccessMode.CRCW:
+            return
+        write_addrs: dict[int, int] = {}
+        for w in writes:
+            write_addrs[w.addr] = write_addrs.get(w.addr, 0) + 1
+        read_addrs: dict[int, int] = {}
+        for r in reads:
+            read_addrs[r.addr] = read_addrs.get(r.addr, 0) + 1
+
+        for addr, cnt in write_addrs.items():
+            if cnt > 1:
+                raise ConcurrentAccessError(
+                    f"{self.mode.name}: {cnt} concurrent writes to address {addr}"
+                )
+            if addr in read_addrs:
+                raise ConcurrentAccessError(
+                    f"{self.mode.name}: simultaneous read and write of address {addr}"
+                )
+        if self.mode is AccessMode.EREW:
+            for addr, cnt in read_addrs.items():
+                if cnt > 1:
+                    raise ConcurrentAccessError(
+                        f"EREW: {cnt} concurrent reads of address {addr}"
+                    )
+
+
+def run_program(
+    program: ProgramFactory,
+    n_procs: int,
+    memory_size: int,
+    *,
+    mode: AccessMode = AccessMode.EREW,
+    write_policy: WritePolicy = WritePolicy.COMMON,
+    combine_op: str = "sum",
+    init: Mapping[int, object] | Iterable | None = None,
+    max_steps: int = 100_000,
+) -> PRAM:
+    """Convenience: build a PRAM, load *program*, run to completion."""
+    pram = PRAM(
+        n_procs,
+        memory_size,
+        mode=mode,
+        write_policy=write_policy,
+        combine_op=combine_op,
+        init=init,
+    )
+    pram.load(program)
+    pram.run(max_steps=max_steps)
+    return pram

@@ -1,0 +1,74 @@
+"""PRAM variants: access modes and concurrent-write resolution policies.
+
+The paper emulates the strongest variant (CRCW) via combining (Theorem
+2.6) and the weaker EREW directly (Theorem 2.5, §3).  The machine enforces
+the chosen mode exactly, so programs written for EREW are guaranteed
+conflict-free before they are handed to an emulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterable
+
+
+class AccessMode(enum.Enum):
+    """Concurrent shared-memory access rules."""
+
+    EREW = "erew"  #: exclusive read, exclusive write
+    CREW = "crew"  #: concurrent read, exclusive write
+    CRCW = "crcw"  #: concurrent read, concurrent write
+
+
+class WritePolicy(enum.Enum):
+    """CRCW write-conflict resolution."""
+
+    COMMON = "common"  #: all writers must agree on the value
+    ARBITRARY = "arbitrary"  #: any single writer wins (we pick lowest pid)
+    PRIORITY = "priority"  #: lowest processor id wins
+    COMBINE = "combine"  #: values reduced with an associative operator
+
+
+class ConcurrentAccessError(RuntimeError):
+    """A program violated its declared access mode."""
+
+
+#: associative reduce operators accepted by WritePolicy.COMBINE
+COMBINE_OPS: dict[str, Callable[[Iterable], object]] = {
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "or": lambda vals: int(any(vals)),
+    "and": lambda vals: int(all(vals)),
+}
+
+
+def resolve_writes(
+    writers: list[tuple[int, object]],
+    policy: WritePolicy,
+    combine_op: str = "sum",
+) -> object:
+    """Resolve one address's concurrent writes to a single stored value.
+
+    *writers* is a list of (processor id, value) pairs, len >= 1.
+    """
+    if not writers:
+        raise ValueError("resolve_writes needs at least one writer")
+    if len(writers) == 1:
+        return writers[0][1]
+    if policy is WritePolicy.COMMON:
+        values = {v for _, v in writers}
+        if len(values) != 1:
+            raise ConcurrentAccessError(
+                f"COMMON CRCW write conflict: values {sorted(map(repr, values))}"
+            )
+        return writers[0][1]
+    if policy in (WritePolicy.ARBITRARY, WritePolicy.PRIORITY):
+        return min(writers, key=lambda t: t[0])[1]
+    if policy is WritePolicy.COMBINE:
+        try:
+            op = COMBINE_OPS[combine_op]
+        except KeyError:
+            raise ValueError(f"unknown combine op {combine_op!r}") from None
+        return op([v for _, v in writers])
+    raise ValueError(f"unhandled policy {policy}")  # pragma: no cover

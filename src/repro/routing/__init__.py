@@ -1,0 +1,60 @@
+"""Packet routing: the synchronous engine plus the paper's algorithms.
+
+* Algorithm 2.1 — :class:`LeveledRouter` (universal, on leveled networks)
+* Algorithm 2.2 — :class:`StarRouter` (n-star graph)
+* Algorithm 2.3 — :class:`ShuffleRouter` (d-way shuffle)
+* §3.4 — :class:`MeshRouter` (3-stage, furthest-destination-first)
+* baselines — :class:`GreedyRouter`, :class:`GreedyMeshRouter`,
+  :class:`ValiantHypercubeRouter`, :func:`valiant_shuffle_route`
+"""
+
+from repro.routing.batcher import bitonic_route, bitonic_stage_count
+from repro.routing.engine import RoutingTimeout, SynchronousEngine, route_with_function
+from repro.routing.greedy import GreedyRouter
+from repro.routing.leveled_router import LeveledRouter
+from repro.routing.linear import random_linear_instance, route_linear
+from repro.routing.mesh_router import GreedyMeshRouter, MeshRouter, default_slice_rows
+from repro.routing.metrics import RoutingStats, collect_stats
+from repro.routing.packet import Packet, make_packets
+from repro.routing.queues import (
+    FIFOQueue,
+    FurthestFirstQueue,
+    fifo_factory,
+    furthest_first_factory,
+)
+from repro.routing.shuffle_router import ShuffleRouter
+from repro.routing.star_router import StarRouter, adversarial_star_permutation
+from repro.routing.valiant import (
+    ValiantHypercubeRouter,
+    transpose_permutation,
+    valiant_shuffle_route,
+)
+
+__all__ = [
+    "FIFOQueue",
+    "FurthestFirstQueue",
+    "GreedyMeshRouter",
+    "GreedyRouter",
+    "LeveledRouter",
+    "MeshRouter",
+    "Packet",
+    "RoutingStats",
+    "RoutingTimeout",
+    "ShuffleRouter",
+    "StarRouter",
+    "SynchronousEngine",
+    "ValiantHypercubeRouter",
+    "adversarial_star_permutation",
+    "bitonic_route",
+    "bitonic_stage_count",
+    "collect_stats",
+    "default_slice_rows",
+    "fifo_factory",
+    "furthest_first_factory",
+    "make_packets",
+    "random_linear_instance",
+    "route_linear",
+    "route_with_function",
+    "transpose_permutation",
+    "valiant_shuffle_route",
+]

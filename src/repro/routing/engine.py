@@ -1,0 +1,265 @@
+"""Synchronous store-and-forward routing engine.
+
+This is the machine model of §2.2.1 made executable:
+
+* time advances in unit steps;
+* each directed link transmits **one** packet per step (a node drives all
+  of its out-links simultaneously — the MIMD model of §3.1);
+* packets wait in per-link output queues; the queue discipline arbitrates
+  contention (FIFO for Theorems 2.1-2.4, furthest-destination-first for
+  §3.4);
+* *routing time* is the step at which the last packet arrives; *delay* is
+  time waited in queues; *queue size* is tracked both per link (the
+  theorems' "queue needed for each link") and per node (§2.2.1's
+  definition of queue size).
+
+The engine is topology-agnostic: a routing algorithm is just a
+``next_hop(packet) -> node-key | None`` policy.  Node keys are arbitrary
+hashables, which lets leveled networks use ``(pass, level, row)`` keys
+while flat topologies use plain ints.
+
+Combining (Theorem 2.6) is supported at enqueue time: when an arriving
+packet finds a queued packet with the same (kind, address, destination) it
+is absorbed — "any number of incoming packets, which have the same
+destination, from different links can be combined into one packet in one
+unit time" (footnote 3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Hashable, Iterable, Optional, Sequence
+
+from repro.routing.metrics import RoutingStats, collect_stats
+from repro.routing.packet import Packet
+from repro.routing.queues import LinkQueue, fifo_factory
+
+NextHop = Callable[[Packet], Optional[Hashable]]
+
+
+class RoutingTimeout(RuntimeError):
+    """Raised (optionally) when a run exceeds its step budget."""
+
+    def __init__(self, stats: RoutingStats) -> None:
+        super().__init__(f"routing did not complete: {stats}")
+        self.stats = stats
+
+
+class SynchronousEngine:
+    """Reusable synchronous router.
+
+    Parameters
+    ----------
+    queue_factory:
+        Zero-argument callable building a fresh :class:`LinkQueue` per
+        link (default FIFO).
+    combine:
+        Enable CRCW packet combining for packets carrying an ``address``.
+    node_capacity:
+        If set, a node refuses new arrivals beyond this many resident
+        packets: upstream links stall (backpressure).  Models the O(1)
+        queue variants of §3.4 / [6].
+    track_paths:
+        Record every visited node key in ``packet.trace`` (needed to fan
+        replies back along combining trees).
+    """
+
+    def __init__(
+        self,
+        *,
+        queue_factory: Callable[[], LinkQueue] = fifo_factory,
+        combine: bool = False,
+        node_capacity: int | None = None,
+        node_service_rate: int | None = None,
+        track_paths: bool = False,
+    ) -> None:
+        self.queue_factory = queue_factory
+        self.combine = combine
+        self.node_capacity = node_capacity
+        self.node_service_rate = node_service_rate
+        self.track_paths = track_paths
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        packets: Sequence[Packet],
+        next_hop: NextHop,
+        *,
+        max_steps: int,
+        raise_on_timeout: bool = False,
+        on_arrival: Callable[[Packet], "list[Packet] | None"] | None = None,
+    ) -> RoutingStats:
+        """Route *packets* until all are delivered or *max_steps* elapse.
+
+        ``on_arrival(p)``, if given, runs at every node *p* reaches and may
+        return new packets to inject there immediately (their ``node`` must
+        equal ``p.node``).  This implements reply fan-out along combining
+        trees: a reply that reaches a merge point spawns the replies of the
+        packets absorbed there (Theorem 2.6's direction bits).
+        """
+        queues: dict[tuple[Hashable, Hashable], LinkQueue] = {}
+        node_load: dict[Hashable, int] = defaultdict(int)
+        active: set[tuple[Hashable, Hashable]] = set()
+
+        max_queue = 0
+        max_node_load = 0
+        combines = 0
+        all_packets = list(packets)
+        remaining = len(all_packets)
+
+        injections: dict[int, list[Packet]] = defaultdict(list)
+        for p in all_packets:
+            injections[p.injected_at].append(p)
+        pending_times = sorted(injections, reverse=True)
+
+        def enqueue(p: Packet, u: Hashable, w: Hashable) -> None:
+            nonlocal max_queue, max_node_load, combines
+            key = (u, w)
+            q = queues.get(key)
+            if q is None:
+                q = queues[key] = self.queue_factory()
+            if self.combine and p.address is not None:
+                host = q.find_combinable((p.kind, p.address, p.dest))
+                if host is not None:
+                    host.absorb(p)
+                    combines += 1
+                    return
+            q.push(p)
+            active.add(key)
+            node_load[u] += 1
+            if len(q) > max_queue:
+                max_queue = len(q)
+            if node_load[u] > max_node_load:
+                max_node_load = node_load[u]
+
+        def deliver(p: Packet, t: int) -> None:
+            nonlocal remaining
+            for rep in p.all_represented():
+                if rep.arrived_at is None:
+                    rep.arrived_at = t
+                    remaining -= 1
+
+        def place(p: Packet, t: int) -> None:
+            """Compute p's next hop from its current node; enqueue/deliver."""
+            nonlocal remaining
+            if self.track_paths:
+                if p.trace is None:
+                    p.trace = [p.node]
+                else:
+                    p.trace.append(p.node)
+            if on_arrival is not None:
+                spawned = on_arrival(p)
+                if spawned:
+                    for q in spawned:
+                        if q.node != p.node:
+                            raise ValueError(
+                                f"spawned packet {q.pid} at {q.node}, "
+                                f"expected {p.node}"
+                            )
+                        q.injected_at = t
+                        all_packets.append(q)
+                        remaining += 1
+                        place(q, t)
+            w = next_hop(p)
+            if w is None:
+                deliver(p, t)
+            else:
+                enqueue(p, p.node, w)
+
+        t = 0
+        while remaining > 0:
+            # inject packets whose time has come
+            while pending_times and pending_times[-1] <= t:
+                for p in injections[pending_times.pop()]:
+                    place(p, t)
+            if remaining == 0:
+                break
+            if t >= max_steps:
+                break
+            if not active and not pending_times:
+                raise RuntimeError(
+                    f"{remaining} packets undeliverable: network drained at t={t}"
+                )
+
+            # transmission phase: every active link sends one packet
+            # (unless node_service_rate caps departures per node, the
+            # serialized model used by the Valiant-comparison baseline)
+            arrivals: list[Packet] = []
+            newly_empty: list[tuple[Hashable, Hashable]] = []
+            if self.node_service_rate is None:
+                transmit_keys: Iterable = active
+            else:
+                by_node: dict[Hashable, list] = defaultdict(list)
+                for key in active:
+                    by_node[key[0]].append(key)
+                transmit_keys = []
+                for node, keys in by_node.items():
+                    keys.sort(key=lambda k: -len(queues[k]))
+                    transmit_keys.extend(keys[: self.node_service_rate])
+            for key in transmit_keys:
+                q = queues[key]
+                if self.node_capacity is not None:
+                    dest_node = key[1]
+                    if (
+                        node_load[dest_node] >= self.node_capacity
+                        and not self._is_exit(q, key)
+                    ):
+                        continue  # backpressure: hold the whole link this step
+                p = q.pop()
+                node_load[key[0]] -= 1
+                p.node = key[1]
+                p.hops += 1
+                arrivals.append(p)
+                if len(q) == 0:
+                    newly_empty.append(key)
+            for key in newly_empty:
+                active.discard(key)
+
+            t += 1
+            for p in arrivals:
+                place(p, t)
+
+        completed = remaining == 0
+        stats = collect_stats(
+            all_packets,
+            steps=t,
+            max_queue=max_queue,
+            completed=completed,
+            combines=combines,
+            max_node_load=max_node_load,
+        )
+        if not completed and raise_on_timeout:
+            raise RoutingTimeout(stats)
+        return stats
+
+    @staticmethod
+    def _is_exit(q: LinkQueue, key) -> bool:
+        """Heads destined to final delivery never stall on capacity.
+
+        A packet that will be *delivered* at the target node does not
+        occupy queue space there, so backpressure must let it through;
+        we approximate by checking whether the head's destination equals
+        the link's target node.
+        """
+        head = q.peek()
+        return head.dest == key[1]
+
+
+def route_with_function(
+    packets: Iterable[Packet],
+    next_hop: NextHop,
+    *,
+    max_steps: int,
+    queue_factory: Callable[[], LinkQueue] = fifo_factory,
+    combine: bool = False,
+    node_capacity: int | None = None,
+    track_paths: bool = False,
+) -> RoutingStats:
+    """One-shot convenience wrapper around :class:`SynchronousEngine`."""
+    engine = SynchronousEngine(
+        queue_factory=queue_factory,
+        combine=combine,
+        node_capacity=node_capacity,
+        track_paths=track_paths,
+    )
+    return engine.run(list(packets), next_hop, max_steps=max_steps)

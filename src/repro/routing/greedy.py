@@ -1,0 +1,46 @@
+"""Generic deterministic greedy (oblivious) router on any Topology.
+
+The simplest baseline: every packet follows ``topology.route_next`` with
+FIFO link queues.  Oblivious and deterministic — exactly the class of
+algorithms whose worst case motivates Valiant randomization (§2.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.routing.engine import SynchronousEngine
+from repro.routing.metrics import RoutingStats
+from repro.routing.packet import Packet, make_packets
+from repro.routing.queues import fifo_factory
+from repro.topology.base import Topology
+
+
+class GreedyRouter:
+    """Deterministic greedy router over an arbitrary topology."""
+
+    def __init__(self, topology: Topology, *, node_capacity: int | None = None) -> None:
+        self.topology = topology
+        self.engine = SynchronousEngine(
+            queue_factory=fifo_factory, node_capacity=node_capacity
+        )
+
+    def _next_hop(self, p: Packet):
+        if p.node == p.dest:
+            return None
+        nxt = self.topology.route_next(p.node, p.dest)
+        if nxt == p.node:
+            raise RuntimeError(f"greedy route stalled for packet {p.pid} at {p.node}")
+        return nxt
+
+    def route(
+        self,
+        sources: Sequence[int],
+        dests: Sequence[int],
+        *,
+        max_steps: int | None = None,
+    ) -> RoutingStats:
+        if max_steps is None:
+            max_steps = 100 * max(1, self.topology.diameter) + 200
+        packets = make_packets(list(map(int, sources)), list(map(int, dests)))
+        return self.engine.run(packets, self._next_hop, max_steps=max_steps)

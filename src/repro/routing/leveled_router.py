@@ -1,0 +1,212 @@
+"""Algorithm 2.1 — the universal randomized routing algorithm (§2.3.2).
+
+Phase 1 sends every packet to a random node of the last column; phase 2
+follows the unique path from there to the true destination.  The two
+standard variants are both implemented:
+
+* ``intermediate="coin"`` — the literal Algorithm 2.1: at every level the
+  packet "selects a random link as a bridge to go to the next level by
+  flipping a d-sided coin".
+* ``intermediate="node"`` — Algorithms 2.2/2.3: pick a uniformly random
+  intermediate *node* up front and follow the unique path to it.
+
+Networks whose last column is identified with the first (shuffle,
+wrapped butterfly, the star's logical network — all our families) let the
+packet re-enter column 0 for the second pass, so every packet traverses
+exactly ``2 * num_levels`` links.
+
+Engine node keys are ``(pass, column, row)`` triples.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.routing.engine import SynchronousEngine
+from repro.routing.metrics import RoutingStats
+from repro.routing.packet import Packet, make_packets
+from repro.routing.queues import fifo_factory
+from repro.topology.leveled import LeveledNetwork
+from repro.util.rng import as_generator
+
+
+class LeveledRouter:
+    """Two-phase randomized router for a :class:`LeveledNetwork`."""
+
+    def __init__(
+        self,
+        net: LeveledNetwork,
+        *,
+        intermediate: Literal["coin", "node"] = "coin",
+        seed=None,
+        combine: bool = False,
+        track_paths: bool = False,
+    ) -> None:
+        if intermediate not in ("coin", "node"):
+            raise ValueError(f"unknown intermediate mode {intermediate!r}")
+        self.net = net
+        self.intermediate = intermediate
+        self.rng = as_generator(seed)
+        self.engine = SynchronousEngine(
+            queue_factory=fifo_factory,
+            combine=combine,
+            track_paths=track_paths,
+        )
+
+    # ------------------------------------------------------------------
+    def _next_hop(self, p: Packet):
+        pass_idx, col, row = p.node
+        L = self.net.num_levels
+        if col == L:
+            if pass_idx == 1:
+                return None if row == p.dest else self._fail(p)
+            # wrap into the second pass (columns identified)
+            pass_idx, col = 1, 0
+            p.node = (1, 0, row)
+        if pass_idx == 0:
+            if self.intermediate == "coin":
+                options = self.net.out_neighbors(col, row)
+                nxt = options[int(self.rng.integers(len(options)))]
+            else:
+                nxt = self.net.unique_next(col, row, p.state)
+        else:
+            nxt = self.net.unique_next(col, row, p.dest)
+        return (pass_idx, col + 1, nxt)
+
+    @staticmethod
+    def _fail(p: Packet):
+        raise RuntimeError(
+            f"packet {p.pid} finished pass 2 at row {p.node[2]} != dest {p.dest}"
+        )
+
+    # ------------------------------------------------------------------
+    def route_packets(
+        self, packets: list[Packet], *, max_steps: int | None = None
+    ) -> RoutingStats:
+        """Route prebuilt packets (node keys ``(0, 0, row)``; int dests).
+
+        Used directly by the emulation layer, which needs to attach
+        addresses/payloads/kinds to the packets it routes.
+        """
+        L = self.net.num_levels
+        if max_steps is None:
+            max_steps = 40 * L + 100
+        if self.intermediate == "node":
+            inters = self.rng.integers(self.net.column_size, size=len(packets))
+            for p, r in zip(packets, inters):
+                p.state = int(r)
+        return self.engine.run(packets, self._next_hop, max_steps=max_steps)
+
+    def route(
+        self,
+        sources: Sequence[int],
+        dests: Sequence[int],
+        *,
+        max_steps: int | None = None,
+        addresses: Sequence[int] | None = None,
+    ) -> RoutingStats:
+        """Route packets from column-0 *sources* to last-column *dests*.
+
+        ``max_steps`` defaults to a generous multiple of the 2L lower
+        bound; Theorem 2.1 says Õ(L) suffices w.h.p.
+        """
+        packets = make_packets(
+            [(0, 0, int(s)) for s in sources],
+            [int(d) for d in dests],
+            addresses=None if addresses is None else list(addresses),
+        )
+        return self.route_packets(packets, max_steps=max_steps)
+
+    def route_permutation(
+        self, perm: Sequence[int] | np.ndarray, *, max_steps: int | None = None
+    ) -> RoutingStats:
+        """Permutation routing: packet i goes from row i to row perm[i]."""
+        perm = np.asarray(perm)
+        n = self.net.column_size
+        if perm.shape != (n,) or sorted(perm.tolist()) != list(range(n)):
+            raise ValueError("perm must be a permutation of the column rows")
+        return self.route(np.arange(n), perm, max_steps=max_steps)
+
+    def route_random_permutation(self, *, max_steps: int | None = None) -> RoutingStats:
+        return self.route_permutation(
+            self.rng.permutation(self.net.column_size), max_steps=max_steps
+        )
+
+    def route_h_relation(
+        self,
+        sources: Sequence[int],
+        dests: Sequence[int],
+        *,
+        max_steps: int | None = None,
+    ) -> RoutingStats:
+        """Partial h-relation routing (Theorem 2.4): sources may repeat up
+        to h times and so may destinations."""
+        return self.route(sources, dests, max_steps=max_steps)
+
+    # ------------------------------------------------------------------
+    def route_with_restarts(
+        self,
+        sources: Sequence[int],
+        dests: Sequence[int],
+        *,
+        allotment: int | None = None,
+        max_rounds: int = 10,
+    ) -> tuple[RoutingStats, int]:
+        """Lemma 2.1's amplification: repeat the algorithm on stragglers.
+
+        Each round runs Algorithm 2.1 for *allotment* steps; packets that
+        miss the deadline "trace back their paths and reach their sources
+        in c₁f(N) steps or less and ... repeat algorithm X".  Repeating a
+        constant number of times drives the failure probability from
+        N^{-α} to N^{-cα}.
+
+        Returns ``(aggregate_stats, rounds_used)``; the aggregate's
+        ``steps`` charges, per round, the allotment plus the trace-back
+        time (the maximum progress any straggler must unwind), and the
+        final round's actual completion time.
+        """
+        L = self.net.num_levels
+        if allotment is None:
+            allotment = 3 * 2 * L  # deliberately tight: restarts do occur
+        if allotment < 1 or max_rounds < 1:
+            raise ValueError("allotment and max_rounds must be positive")
+
+        pending = list(zip(map(int, sources), map(int, dests)))
+        total_time = 0
+        max_queue = 0
+        delays: list[int] = []
+        hops: list[int] = []
+        delivered = 0
+        for round_idx in range(1, max_rounds + 1):
+            packets = make_packets([(0, 0, s) for s, _ in pending], [d for _, d in pending])
+            stats = self.route_packets(packets, max_steps=allotment)
+            max_queue = max(max_queue, stats.max_queue)
+            done = [p for p in packets if p.delivered]
+            failed = [p for p in packets if not p.delivered]
+            delivered += len(done)
+            delays.extend(p.delay for p in done)
+            hops.extend(p.hops for p in done)
+            if not failed:
+                total_time += stats.steps
+                return (
+                    RoutingStats(
+                        steps=total_time,
+                        delivered=delivered,
+                        total_packets=delivered,
+                        max_queue=max_queue,
+                        completed=True,
+                        delays=delays,
+                        hops=hops,
+                    ),
+                    round_idx,
+                )
+            # stragglers unwind their partial paths back to their sources
+            traceback = max(p.hops for p in failed)
+            total_time += allotment + traceback
+            pending = [(p.source[2], p.dest) for p in failed]
+        raise RuntimeError(
+            f"{len(pending)} packets undelivered after {max_rounds} rounds; "
+            "increase the allotment (Lemma 2.1 needs c1 f(N) per trial)"
+        )

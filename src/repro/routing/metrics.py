@@ -1,0 +1,94 @@
+"""Routing-run metrics: the quantities the paper's theorems bound.
+
+* routing time — step at which the last packet arrives (§2.2.1);
+* queue size — max packets ever resident in one link queue;
+* delay — per-packet queueing delay (latency minus path length);
+* hops — per-packet path length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.routing.packet import Packet
+from repro.util.stats import Summary, summarize
+
+
+@dataclass
+class RoutingStats:
+    """Outcome of one routing run."""
+
+    steps: int
+    delivered: int
+    total_packets: int
+    max_queue: int
+    completed: bool
+    delays: list[int] = field(default_factory=list)
+    hops: list[int] = field(default_factory=list)
+    #: number of packet merges performed (CRCW combining)
+    combines: int = 0
+    #: peak number of packets resident at any single node (sum of its
+    #: outgoing link queues); the per-processor buffer requirement
+    max_node_load: int = 0
+
+    @property
+    def routing_time(self) -> int:
+        """Alias for ``steps`` matching the paper's vocabulary."""
+        return self.steps
+
+    @property
+    def max_delay(self) -> int:
+        return max(self.delays) if self.delays else 0
+
+    @property
+    def mean_delay(self) -> float:
+        return sum(self.delays) / len(self.delays) if self.delays else 0.0
+
+    @property
+    def max_hops(self) -> int:
+        return max(self.hops) if self.hops else 0
+
+    def delay_summary(self) -> Summary:
+        return summarize(self.delays)
+
+    def hop_summary(self) -> Summary:
+        return summarize(self.hops)
+
+    def normalized_time(self, scale: float) -> float:
+        """routing_time / scale — e.g. scale = diameter for Theorem 2.1,
+        scale = n for Theorems 3.1-3.2."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return self.steps / scale
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        flag = "" if self.completed else "  [TIMED OUT]"
+        return (
+            f"time={self.steps} delivered={self.delivered}/{self.total_packets} "
+            f"max_queue={self.max_queue} max_delay={self.max_delay}{flag}"
+        )
+
+
+def collect_stats(
+    packets: Sequence[Packet],
+    *,
+    steps: int,
+    max_queue: int,
+    completed: bool,
+    combines: int = 0,
+    max_node_load: int = 0,
+) -> RoutingStats:
+    """Assemble a :class:`RoutingStats` from delivered packets."""
+    delivered = [p for p in packets if p.delivered]
+    return RoutingStats(
+        steps=steps,
+        delivered=len(delivered),
+        total_packets=len(packets),
+        max_queue=max_queue,
+        completed=completed,
+        delays=[p.delay for p in delivered],
+        hops=[p.hops for p in delivered],
+        combines=combines,
+        max_node_load=max_node_load,
+    )

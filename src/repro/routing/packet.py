@@ -1,0 +1,132 @@
+"""Packets: the unit of communication in every routing algorithm (§2.2.1).
+
+A packet is a (source, destination) pair plus bookkeeping: the engine
+tracks hops, queueing delay, and (optionally) the traversed path; the
+emulation layer adds an address/payload and a combining tree (children
+absorbed at merge points, Theorem 2.6's "log d direction bits" realized as
+remembered merge structure).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+
+class Packet:
+    """A routable packet.
+
+    ``node`` is the engine-level position key (an int for flat topologies,
+    a tuple like ``(pass, level, row)`` for leveled networks).  ``state``
+    is scratch space owned by the routing policy (phase counters, chosen
+    intermediate nodes, ...).
+    """
+
+    __slots__ = (
+        "pid",
+        "source",
+        "dest",
+        "node",
+        "kind",
+        "address",
+        "payload",
+        "state",
+        "hops",
+        "injected_at",
+        "arrived_at",
+        "trace",
+        "children",
+        "combined",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        source: Hashable,
+        dest: Hashable,
+        *,
+        kind: str = "data",
+        address: int | None = None,
+        payload: Any = None,
+    ) -> None:
+        self.pid = pid
+        self.source = source
+        self.dest = dest
+        self.node = source
+        self.kind = kind
+        self.address = address
+        self.payload = payload
+        self.state: Any = None
+        self.hops = 0
+        self.injected_at = 0
+        self.arrived_at: int | None = None
+        self.trace: list[Hashable] | None = None
+        self.children: list["Packet"] | None = None
+        self.combined = False  # True once absorbed into a host packet
+
+    # ---- combining (Theorem 2.6) ---------------------------------------
+    def absorb(self, other: "Packet") -> None:
+        """Merge *other* into this packet (concurrent access combining).
+
+        The absorbed packet stops traversing the network; it is recorded as
+        a child so replies can fan back out along the combining tree.
+        """
+        if other.combined:
+            raise ValueError(f"packet {other.pid} already combined")
+        other.combined = True
+        if self.children is None:
+            self.children = []
+        self.children.append(other)
+
+    def all_represented(self) -> list["Packet"]:
+        """This packet plus every packet merged into it, recursively."""
+        out = [self]
+        stack = list(self.children or ())
+        while stack:
+            p = stack.pop()
+            out.append(p)
+            stack.extend(p.children or ())
+        return out
+
+    # ---- metrics --------------------------------------------------------
+    @property
+    def delivered(self) -> bool:
+        return self.arrived_at is not None
+
+    @property
+    def latency(self) -> int:
+        """Total steps from injection to arrival."""
+        if self.arrived_at is None:
+            raise ValueError(f"packet {self.pid} not delivered")
+        return self.arrived_at - self.injected_at
+
+    @property
+    def delay(self) -> int:
+        """Queueing delay: latency minus path length (§2.2.1)."""
+        return self.latency - self.hops
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = f"@{self.node}" if not self.delivered else f"done(t={self.arrived_at})"
+        return f"Packet({self.pid}, {self.source}->{self.dest}, {status})"
+
+
+def make_packets(
+    sources,
+    dests,
+    *,
+    kind: str = "data",
+    addresses=None,
+    payloads=None,
+) -> list[Packet]:
+    """Build a packet per (source, dest) pair with sequential ids."""
+    sources = list(sources)
+    dests = list(dests)
+    if len(sources) != len(dests):
+        raise ValueError("sources and dests must have equal length")
+    packets = []
+    for i, (s, d) in enumerate(zip(sources, dests)):
+        addr = None if addresses is None else addresses[i]
+        pay = None if payloads is None else payloads[i]
+        packets.append(
+            Packet(i, s, d, kind=kind, address=addr, payload=pay)
+        )
+    return packets

@@ -1,0 +1,115 @@
+"""Link-queue disciplines (§2.2.1).
+
+The paper's algorithms use two arbitration rules:
+
+* **FIFO** — first-in first-out, used by the leveled-network algorithms
+  (Theorems 2.1-2.4 explicitly promise FIFO queues, the simplest hardware).
+* **Furthest-destination-first** — the priority rule of §3.4's mesh
+  algorithm (packets with farther stage targets preempt closer ones).
+
+Both expose the same tiny interface so the engine is discipline-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Optional
+
+from repro.routing.packet import Packet
+
+
+class LinkQueue:
+    """Interface: an output queue attached to one directed link."""
+
+    def push(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Packet:
+        raise NotImplementedError
+
+    def peek(self) -> Packet:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def find_combinable(self, key) -> Optional[Packet]:
+        """A queued packet whose combine key equals *key* (else None)."""
+        raise NotImplementedError
+
+
+class FIFOQueue(LinkQueue):
+    """Plain first-in first-out queue."""
+
+    __slots__ = ("_q",)
+
+    def __init__(self) -> None:
+        self._q: deque[Packet] = deque()
+
+    def push(self, packet: Packet) -> None:
+        self._q.append(packet)
+
+    def pop(self) -> Packet:
+        return self._q.popleft()
+
+    def peek(self) -> Packet:
+        return self._q[0]
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def find_combinable(self, key) -> Optional[Packet]:
+        for p in self._q:
+            if (p.kind, p.address, p.dest) == key:
+                return p
+        return None
+
+
+class FurthestFirstQueue(LinkQueue):
+    """Priority queue: largest *priority* first, FIFO among ties.
+
+    The priority function is supplied at construction (for the mesh it is
+    "distance to the current stage target"); priorities are evaluated at
+    push time, matching the paper's model where a packet's urgency is a
+    static property of its destination.
+    """
+
+    __slots__ = ("_heap", "_counter", "_priority")
+
+    def __init__(self, priority: Callable[[Packet], float]) -> None:
+        self._heap: list[tuple[float, int, Packet]] = []
+        self._counter = 0
+        self._priority = priority
+
+    def push(self, packet: Packet) -> None:
+        heapq.heappush(self._heap, (-self._priority(packet), self._counter, packet))
+        self._counter += 1
+
+    def pop(self) -> Packet:
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> Packet:
+        return self._heap[0][2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def find_combinable(self, key) -> Optional[Packet]:
+        for _, _, p in self._heap:
+            if (p.kind, p.address, p.dest) == key:
+                return p
+        return None
+
+
+def fifo_factory() -> FIFOQueue:
+    return FIFOQueue()
+
+
+def furthest_first_factory(priority: Callable[[Packet], float]):
+    """Factory of FurthestFirstQueues sharing one priority function."""
+
+    def make() -> FurthestFirstQueue:
+        return FurthestFirstQueue(priority)
+
+    return make

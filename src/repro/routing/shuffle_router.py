@@ -1,0 +1,93 @@
+"""Algorithm 2.3 — randomized routing on the d-way shuffle (§2.3.5).
+
+Phase 1 sends each packet along the unique n-link path to a random
+intermediate node; phase 2 follows the unique n-link path to the true
+destination.  Every packet crosses exactly 2n (directed, physical) shuffle
+links; both phases share those links, so contention is modeled physically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.routing.engine import SynchronousEngine
+from repro.routing.metrics import RoutingStats
+from repro.routing.packet import Packet, make_packets
+from repro.routing.queues import fifo_factory
+from repro.topology.shuffle import DWayShuffle
+from repro.util.rng import as_generator
+
+
+class ShuffleRouter:
+    """Two-phase unique-path router on the physical d-way shuffle."""
+
+    def __init__(
+        self, shuffle: DWayShuffle, *, seed=None, randomized: bool = True
+    ) -> None:
+        self.shuffle = shuffle
+        self.randomized = randomized
+        self.rng = as_generator(seed)
+        self.engine = SynchronousEngine(queue_factory=fifo_factory)
+
+    def _next_hop(self, p: Packet):
+        # state = (phase, hops_in_phase, intermediate)
+        phase, k, inter = p.state
+        n = self.shuffle.n
+        if phase == 0:
+            if k == n:
+                phase, k = 1, 0  # arrived at the intermediate; fall through
+                p.state = (1, 0, inter)
+            else:
+                p.state = (0, k + 1, inter)
+                return self.shuffle.unique_path_next(p.node, inter, k)
+        if k == n:
+            return None  # completed the second unique path: delivered
+        p.state = (1, k + 1, inter)
+        return self.shuffle.unique_path_next(p.node, p.dest, k)
+
+    def route(
+        self,
+        sources: Sequence[int],
+        dests: Sequence[int],
+        *,
+        max_steps: int | None = None,
+    ) -> RoutingStats:
+        if max_steps is None:
+            max_steps = 60 * self.shuffle.n + 200
+        packets = make_packets(list(map(int, sources)), list(map(int, dests)))
+        if self.randomized:
+            inters = self.rng.integers(self.shuffle.num_nodes, size=len(packets))
+            for p, r in zip(packets, inters):
+                p.state = (0, 0, int(r))
+        else:
+            # Ablation baseline: one deterministic unique-path pass straight
+            # to the destination (no Valiant phase 1).
+            for p in packets:
+                p.state = (1, 0, None)
+        return self.engine.run(packets, self._next_hop, max_steps=max_steps)
+
+    def route_permutation(
+        self, perm: Sequence[int] | np.ndarray, *, max_steps: int | None = None
+    ) -> RoutingStats:
+        perm = np.asarray(perm)
+        n = self.shuffle.num_nodes
+        if perm.shape != (n,) or sorted(perm.tolist()) != list(range(n)):
+            raise ValueError("perm must be a permutation of all shuffle nodes")
+        return self.route(np.arange(n), perm, max_steps=max_steps)
+
+    def route_random_permutation(self, *, max_steps: int | None = None) -> RoutingStats:
+        return self.route_permutation(
+            self.rng.permutation(self.shuffle.num_nodes), max_steps=max_steps
+        )
+
+    def route_n_relation(
+        self, *, h: int | None = None, max_steps: int | None = None
+    ) -> RoutingStats:
+        """Random partial n-relation routing (Corollary 2.2)."""
+        from repro.util.rng import random_h_relation
+
+        h = h if h is not None else self.shuffle.n
+        s, d = random_h_relation(self.rng, self.shuffle.num_nodes, h)
+        return self.route(s, d, max_steps=max_steps)

@@ -1,0 +1,33 @@
+"""Interconnection-network topologies (the paper's §2.3.1, §2.3.4, §2.3.5, §3.1).
+
+Every topology exposes dense integer node ids, label codecs, neighbor
+enumeration, deterministic greedy routing, and exact distances, so the
+routing engine can stay topology-agnostic.
+"""
+
+from repro.topology.base import Topology
+from repro.topology.star import StarGraph
+from repro.topology.shuffle import DWayShuffle
+from repro.topology.hypercube import Hypercube
+from repro.topology.butterfly import Butterfly
+from repro.topology.mesh import LinearArray, Mesh2D
+from repro.topology.leveled import (
+    DAryButterflyLeveled,
+    LeveledNetwork,
+    ShuffleLeveled,
+    StarLogicalLeveled,
+)
+
+__all__ = [
+    "Butterfly",
+    "DAryButterflyLeveled",
+    "DWayShuffle",
+    "Hypercube",
+    "LeveledNetwork",
+    "LinearArray",
+    "Mesh2D",
+    "ShuffleLeveled",
+    "StarGraph",
+    "StarLogicalLeveled",
+    "Topology",
+]

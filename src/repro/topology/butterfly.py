@@ -1,0 +1,119 @@
+"""The binary butterfly, substrate of Ranade's emulation [13].
+
+A butterfly of order k has (k+1) columns of 2**k rows.  Node (c, r) for
+c < k links to (c+1, r) ("straight") and (c+1, r ^ 2**c) ("cross"); fixing
+bit c of the row at column c induces the unique path property: exactly one
+path of length k from any column-0 node to any column-k node.
+
+Ranade places PRAM processors and memory modules on the column-0 /
+column-k rims (we use column 0 for processors and column k for modules);
+the paper cites this network as the classical O(log N) emulation to beat.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.topology.base import Topology
+
+
+class Butterfly(Topology):
+    """Butterfly of order k: (k+1) * 2**k nodes."""
+
+    name = "butterfly"
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("butterfly needs order k >= 1")
+        self.k = k
+        self.rows = 1 << k
+        self._num_nodes = (k + 1) * self.rows
+
+    # ---- id <-> (column, row) ------------------------------------------
+    def pack(self, col: int, row: int) -> int:
+        if not 0 <= col <= self.k:
+            raise ValueError(f"column {col} out of range [0, {self.k}]")
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} out of range [0, {self.rows})")
+        return col * self.rows + row
+
+    def unpack(self, v: int) -> tuple[int, int]:
+        return divmod(v, self.rows)
+
+    def label(self, v: int) -> tuple[int, int]:
+        return self.unpack(v)
+
+    def node_id(self, label: Sequence[int]) -> int:
+        col, row = label
+        return self.pack(col, row)
+
+    # ---- Topology interface -------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def degree(self) -> int:
+        return 4 if self.k > 1 else 2
+
+    @property
+    def diameter(self) -> int:
+        # Worst case: column 0 to column k fixing all bits, 2k for
+        # rim-to-rim-and-back pairs within the same column.
+        return 2 * self.k
+
+    def forward_neighbors(self, v: int) -> list[int]:
+        """Column c -> column c+1 links (empty at the last column)."""
+        col, row = self.unpack(v)
+        if col == self.k:
+            return []
+        return [self.pack(col + 1, row), self.pack(col + 1, row ^ (1 << col))]
+
+    def backward_neighbors(self, v: int) -> list[int]:
+        col, row = self.unpack(v)
+        if col == 0:
+            return []
+        return [self.pack(col - 1, row), self.pack(col - 1, row ^ (1 << (col - 1)))]
+
+    def neighbors(self, v: int) -> list[int]:
+        return self.forward_neighbors(v) + self.backward_neighbors(v)
+
+    def forward_next(self, v: int, dest_row: int) -> int:
+        """Unique-path next hop toward row *dest_row* in the last column."""
+        col, row = self.unpack(v)
+        if col >= self.k:
+            raise ValueError("already at the last column")
+        bit = 1 << col
+        new_row = (row & ~bit) | (dest_row & bit)
+        return self.pack(col + 1, new_row)
+
+    def backward_next(self, v: int, dest_row: int) -> int:
+        """Unique-path next hop toward row *dest_row* in column 0."""
+        col, row = self.unpack(v)
+        if col <= 0:
+            raise ValueError("already at the first column")
+        bit = 1 << (col - 1)
+        new_row = (row & ~bit) | (dest_row & bit)
+        return self.pack(col - 1, new_row)
+
+    def route_next(self, cur: int, dest: int) -> int:
+        """Greedy: walk toward the destination column, fixing row bits that
+        the remaining columns allow; exact for rim-to-rim routes."""
+        if cur == dest:
+            return cur
+        ccol, crow = self.unpack(cur)
+        dcol, drow = self.unpack(dest)
+        if ccol < dcol:
+            bit = 1 << ccol
+            return self.pack(ccol + 1, (crow & ~bit) | (drow & bit))
+        if ccol > dcol:
+            bit = 1 << (ccol - 1)
+            return self.pack(ccol - 1, (crow & ~bit) | (drow & bit))
+        # Same column, different row: step forward then back (or back then
+        # forward at the rim).  Move toward the side with the lowest
+        # differing bit still fixable.
+        diff = crow ^ drow
+        low = (diff & -diff).bit_length() - 1
+        if ccol <= low:
+            return self.pack(ccol + 1, crow)
+        return self.pack(ccol - 1, (crow & ~(1 << (ccol - 1))) | (drow & (1 << (ccol - 1))))

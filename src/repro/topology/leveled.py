@@ -1,0 +1,260 @@
+"""Leveled networks (Definition in §2.3.1, Figure 1).
+
+A leveled network has columns c_0 .. c_L of N nodes each (we index the L
+*edge layers* 0..L-1 between consecutive columns).  Links exist only
+between adjacent columns; every node has at most d out-links; and from any
+node of the first column there is exactly one path of length L to any node
+of the last column (the *unique path* property).
+
+Routing phase 2 of the universal algorithm (Algorithm 2.1) follows that
+unique path.  Networks like the shuffle and the wrapped butterfly identify
+the last column with the first, so a packet that reaches the last column
+can re-enter at column 0 of a second *pass*; both the hypercube/butterfly
+("cube class") and the paper's headline networks (star graph via its
+logical network of Figure 3, n-way shuffle via Figure 4) fit this mold.
+
+Concrete families here:
+
+* :class:`DAryButterflyLeveled` — the canonical degree-d, L-level network
+  with N = d**L rows and graph-theoretically unique paths; setting
+  L = Θ(d) gives the paper's "ℓ = O(d)" regime.
+* :class:`ShuffleLeveled` — the logical leveled view of the d-way shuffle.
+* :class:`StarLogicalLeveled` — the logical network of the n-star graph
+  (Figure 3): 2(n-1) stages of "bring the needed symbol to the front, then
+  place it", degree n (n-1 swaps + 1 self link).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.topology.shuffle import DWayShuffle
+from repro.topology.star import StarGraph, perm_rank, perm_unrank, swap_j
+
+
+class LeveledNetwork(ABC):
+    """Abstract leveled network: L edge layers over columns of N nodes."""
+
+    #: short name used in experiment tables
+    name: str = "leveled"
+    #: True when the length-L path between first/last column pairs is
+    #: graph-theoretically unique (butterfly, shuffle); False when
+    #: ``unique_next`` merely selects a canonical path (star logical net).
+    has_unique_paths: bool = True
+
+    @property
+    @abstractmethod
+    def num_levels(self) -> int:
+        """L: number of edge layers (columns = L + 1)."""
+
+    @property
+    @abstractmethod
+    def column_size(self) -> int:
+        """N: nodes per column."""
+
+    @property
+    @abstractmethod
+    def degree(self) -> int:
+        """d: maximum out-degree of a node."""
+
+    @abstractmethod
+    def out_neighbors(self, level: int, node: int) -> Sequence[int]:
+        """Column-(level+1) nodes reachable from *node* in column *level*."""
+
+    @abstractmethod
+    def unique_next(self, level: int, node: int, dest: int) -> int:
+        """Next hop on the (canonical) unique path toward last-column *dest*."""
+
+    # ---- derived --------------------------------------------------------
+    @property
+    def num_columns(self) -> int:
+        return self.num_levels + 1
+
+    @property
+    def total_nodes(self) -> int:
+        """ℓN in the paper's counting (here (L+1) * N)."""
+        return self.num_columns * self.column_size
+
+    def unique_path(self, src: int, dest: int) -> list[int]:
+        """Column-by-column node sequence of the canonical path."""
+        path = [src]
+        cur = src
+        for level in range(self.num_levels):
+            cur = self.unique_next(level, cur, dest)
+            path.append(cur)
+        if cur != dest:
+            raise RuntimeError(
+                f"unique path from {src} ended at {cur}, expected {dest}"
+            )
+        return path
+
+    def validate_level(self, level: int) -> None:
+        if not 0 <= level < self.num_levels:
+            raise ValueError(f"level {level} out of range [0, {self.num_levels})")
+
+    def validate_node(self, node: int) -> None:
+        if not 0 <= node < self.column_size:
+            raise ValueError(f"node {node} out of range [0, {self.column_size})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(L={self.num_levels}, N={self.column_size}, "
+            f"d={self.degree})"
+        )
+
+
+class DAryButterflyLeveled(LeveledNetwork):
+    """Degree-d butterfly-style leveled network with N = d**L rows.
+
+    At edge layer i, node x connects to every node obtained by rewriting
+    d-ary digit i of x; the unique path to *dest* rewrites digit i to
+    dest's digit i.  This is the natural generalization of the binary
+    butterfly and the canonical witness for Theorem 2.1's "leveled network
+    of ℓ levels with degree d".
+    """
+
+    name = "dary-butterfly"
+    has_unique_paths = True
+
+    def __init__(self, d: int, levels: int) -> None:
+        if d < 2:
+            raise ValueError("need digit base d >= 2")
+        if levels < 1:
+            raise ValueError("need at least one level")
+        self.d = d
+        self._levels = levels
+        self._n = d**levels
+
+    @property
+    def num_levels(self) -> int:
+        return self._levels
+
+    @property
+    def column_size(self) -> int:
+        return self._n
+
+    @property
+    def degree(self) -> int:
+        return self.d
+
+    def _digit_base(self, level: int) -> int:
+        return self.d**level
+
+    def out_neighbors(self, level: int, node: int) -> list[int]:
+        self.validate_level(level)
+        base = self._digit_base(level)
+        low = node % base
+        rest = node - (node % (base * self.d)) + low
+        return [rest + digit * base for digit in range(self.d)]
+
+    def unique_next(self, level: int, node: int, dest: int) -> int:
+        self.validate_level(level)
+        base = self._digit_base(level)
+        dest_digit = (dest // base) % self.d
+        low = node % base
+        rest = node - (node % (base * self.d)) + low
+        return rest + dest_digit * base
+
+
+class ShuffleLeveled(LeveledNetwork):
+    """Logical leveled view of the d-way shuffle (Figure 4).
+
+    Every edge layer applies one shuffle move (shift right, insert a digit
+    at the front); after L = n layers the label is fully rewritten, so the
+    insertion sequence — hence the path — is uniquely determined by the
+    destination.
+    """
+
+    name = "shuffle-leveled"
+    has_unique_paths = True
+
+    def __init__(self, d: int, n: int) -> None:
+        self.shuffle = DWayShuffle(d, n)
+
+    @classmethod
+    def n_way(cls, n: int) -> "ShuffleLeveled":
+        return cls(n, n)
+
+    @property
+    def num_levels(self) -> int:
+        return self.shuffle.n
+
+    @property
+    def column_size(self) -> int:
+        return self.shuffle.num_nodes
+
+    @property
+    def degree(self) -> int:
+        return self.shuffle.d
+
+    def out_neighbors(self, level: int, node: int) -> list[int]:
+        self.validate_level(level)
+        return self.shuffle.shuffle_neighbors(node)
+
+    def unique_next(self, level: int, node: int, dest: int) -> int:
+        self.validate_level(level)
+        return self.shuffle.unique_path_next(node, dest, level)
+
+
+class StarLogicalLeveled(LeveledNetwork):
+    """Logical leveled network of the n-star graph (Figure 3).
+
+    Stage i (i = 0 .. n-2) moves a packet into the correct i+1-th stage
+    subgraph G^{i+1} (Definition 2.6) by fixing the symbol at position
+    n-1-i to the destination's symbol.  Each stage costs at most two
+    physical star moves — "bring the needed symbol to the front" then
+    "place it" — so the logical network has 2(n-1) edge layers.  Each node
+    offers its n-1 SWAP links plus a self link (a node may act as a switch
+    and forward without moving), giving logical degree n = Θ(diameter),
+    the paper's "leveled network in which ℓ = O(d)" regime.
+
+    The canonical path is destination-dependent (the graph itself admits
+    many layered paths), so ``has_unique_paths`` is False: uniqueness here
+    is a property of the *selection rule*, exactly how the paper uses it.
+    """
+
+    name = "star-logical"
+    has_unique_paths = False
+
+    def __init__(self, n: int) -> None:
+        self.star = StarGraph(n)
+        self.n = n
+
+    @property
+    def num_levels(self) -> int:
+        return 2 * (self.n - 1)
+
+    @property
+    def column_size(self) -> int:
+        return self.star.num_nodes
+
+    @property
+    def degree(self) -> int:
+        return self.n  # n-1 swaps + self link
+
+    def out_neighbors(self, level: int, node: int) -> list[int]:
+        self.validate_level(level)
+        return [node] + self.star.neighbors(node)
+
+    def unique_next(self, level: int, node: int, dest: int) -> int:
+        self.validate_level(level)
+        stage, substep = divmod(level, 2)
+        pos = self.n - 1 - stage  # the position this stage pins down
+        cur_p = perm_unrank(node, self.n)
+        dest_p = perm_unrank(dest, self.n)
+        sym = dest_p[pos]
+        if cur_p[pos] == sym:
+            return node  # already in the right subgraph: forward as switch
+        if substep == 0:
+            if cur_p[0] == sym:
+                return node  # symbol staged at the front; place next layer
+            loc = cur_p.index(sym)
+            return perm_rank(swap_j(cur_p, loc))
+        # substep 1: the symbol is at the front (substep 0 guarantees it).
+        if cur_p[0] != sym:
+            raise RuntimeError(
+                "canonical star path invariant violated: "
+                f"symbol {sym} not staged at front of {cur_p}"
+            )
+        return perm_rank(swap_j(cur_p, pos))

@@ -1,0 +1,68 @@
+"""Deterministic primality testing and prime search.
+
+The hash family of §2.1 needs a prime P >= M (the PRAM address-space size).
+M can be large (2**20 and beyond), so trial division is not enough; we use a
+deterministic Miller-Rabin variant valid for all 64-bit integers.
+"""
+
+from __future__ import annotations
+
+# Witnesses proven sufficient for n < 3,317,044,064,679,887,385,961,981
+# (covers all 64-bit inputs).  Sinclair / Sorenson-Webster bases.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One Miller-Rabin round; True if *n* passes for witness *a*."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test, exact for every n < 2**64."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    return all(_miller_rabin_round(n, a % n, d, r) for a in _MR_WITNESSES if a % n)
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime >= n (n may be any nonnegative int)."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # next odd >= n
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def primes_below(limit: int) -> list[int]:
+    """All primes < limit via a simple sieve (for tests and small tables)."""
+    if limit <= 2:
+        return []
+    sieve = bytearray([1]) * limit
+    sieve[0:2] = b"\x00\x00"
+    for i in range(2, int(limit**0.5) + 1):
+        if sieve[i]:
+            sieve[i * i :: i] = b"\x00" * len(range(i * i, limit, i))
+    return [i for i in range(limit) if sieve[i]]

@@ -1,0 +1,113 @@
+"""Randomness plumbing.
+
+Every randomized component in the library accepts either a seed (int), a
+``numpy.random.Generator``, or ``None`` (fresh entropy).  Routing algorithms
+and emulators draw *all* of their coins from the resulting generator, so any
+experiment is reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Coerce *seed* into a ``numpy.random.Generator``.
+
+    Accepts ``None`` (OS entropy), an integer seed, a ``SeedSequence``, or an
+    existing ``Generator`` (returned unchanged so callers can thread one
+    generator through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed, n: int) -> list[np.random.Generator]:
+    """Derive *n* independent child generators from *seed*.
+
+    Used when an experiment fans out over trials: each trial gets its own
+    stream so trials are independent yet the whole sweep replays from one
+    seed.
+    """
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing seeds from the parent stream.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+class RngMixin:
+    """Mixin storing a lazily created generator under ``self._rng``."""
+
+    def __init__(self, seed=None) -> None:
+        self._rng = as_generator(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def reseed(self, seed) -> None:
+        """Replace the generator (used by rehashing logic and tests)."""
+        self._rng = as_generator(seed)
+
+
+def random_permutation(rng: np.random.Generator, n: int) -> np.ndarray:
+    """A uniformly random permutation of ``range(n)`` as an int64 array."""
+    return rng.permutation(n)
+
+
+def random_partial_permutation(
+    rng: np.random.Generator, n: int, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """A random *partial* permutation: k distinct sources -> k distinct dests.
+
+    Returns ``(sources, dests)`` arrays of length ``k``.  Used for partial
+    routing problems (§2.2.1 of the paper).
+    """
+    if not 0 <= k <= n:
+        raise ValueError(f"k={k} must be in [0, {n}]")
+    sources = rng.choice(n, size=k, replace=False)
+    dests = rng.choice(n, size=k, replace=False)
+    return sources, dests
+
+
+def random_h_relation(
+    rng: np.random.Generator, n: int, h: int, *, total: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """A random partial h-relation on ``n`` nodes (§2.2.1).
+
+    At most ``h`` packets originate at any node and at most ``h`` packets
+    share a destination.  Built by superposing ``h`` random partial
+    permutations; ``total`` (defaults to ``h * n``) caps the number of
+    packets.  Returns ``(sources, dests)``.
+    """
+    if h < 1:
+        raise ValueError("h must be >= 1")
+    cap = h * n if total is None else total
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    remaining = cap
+    for _ in range(h):
+        k = min(n, remaining)
+        if k <= 0:
+            break
+        s, d = random_partial_permutation(rng, n, k)
+        srcs.append(s)
+        dsts.append(d)
+        remaining -= k
+    if not srcs:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(srcs), np.concatenate(dsts)
+
+
+def choice_weighted(rng: np.random.Generator, options: Sequence, weights: Iterable[float]):
+    """Pick one element of *options* with the given (unnormalized) weights."""
+    w = np.asarray(list(weights), dtype=float)
+    idx = rng.choice(len(options), p=w / w.sum())
+    return options[idx]

@@ -1,0 +1,197 @@
+"""Tests for PRAM emulation on leveled networks (Theorems 2.5-2.6)."""
+
+import numpy as np
+import pytest
+
+from repro.emulation import LeveledEmulator
+from repro.pram import (
+    AccessMode,
+    MemoryTrace,
+    ReadRequest,
+    StepTrace,
+    WritePolicy,
+    WriteRequest,
+    hotspot_step,
+    permutation_step,
+    random_trace,
+)
+from repro.topology import DAryButterflyLeveled, ShuffleLeveled, StarLogicalLeveled
+
+
+def _net():
+    return DAryButterflyLeveled(3, 3)  # 27 processors/modules
+
+
+class TestLeveledEmulatorBasics:
+    def test_single_read_roundtrip(self):
+        emu = LeveledEmulator(_net(), address_space=100, seed=1)
+        emu.memory.write(42, "payload")
+        step = StepTrace(reads=[ReadRequest(0, 42)])
+        cost = emu.emulate_step(step)
+        assert cost.total_steps > 0
+        assert cost.request_steps >= 2 * 3  # at least one full traversal
+
+    def test_write_then_read(self):
+        emu = LeveledEmulator(_net(), address_space=50, seed=2)
+        emu.emulate_step(StepTrace(writes=[WriteRequest(3, 7, "hello")]))
+        assert emu.memory.read(7) == "hello"
+        cost = emu.emulate_step(StepTrace(reads=[ReadRequest(5, 7)]))
+        assert cost.reply_steps > 0
+
+    def test_write_only_step_has_no_reply_phase(self):
+        emu = LeveledEmulator(_net(), address_space=50, seed=3)
+        cost = emu.emulate_step(StepTrace(writes=[WriteRequest(0, 1, 9)]))
+        assert cost.reply_steps == 0
+
+    def test_permutation_step_full_machine(self):
+        net = _net()
+        emu = LeveledEmulator(net, address_space=256, seed=4)
+        step = permutation_step(net.column_size, 256, seed=5)
+        cost = emu.emulate_step(step)
+        assert cost.requests == net.column_size
+        # Theorem 2.5/2.6 shape: time a small multiple of the diameter.
+        assert cost.total_steps <= 10 * emu.scale
+
+    def test_reads_see_pre_step_memory(self):
+        emu = LeveledEmulator(_net(), address_space=10, seed=6)
+        emu.memory.write(0, "old")
+        step = StepTrace(
+            reads=[ReadRequest(1, 0)], writes=[WriteRequest(2, 0, "new")]
+        )
+        emu.emulate_step(step)
+        assert emu.memory.read(0) == "new"
+        # the read reply carried "old": validated internally by count; check
+        # semantics via a second read
+        emu2 = LeveledEmulator(_net(), address_space=10, seed=6)
+        emu2.memory.write(0, "old")
+        # identical step; values map in emulate_step read pre-state
+        # (behavioral check: no exception and memory updated)
+        emu2.emulate_step(step)
+        assert emu2.memory.read(0) == "new"
+
+    def test_erew_mode_rejects_concurrent(self):
+        emu = LeveledEmulator(_net(), address_space=64, mode="erew", seed=7)
+        step = StepTrace(reads=[ReadRequest(0, 5), ReadRequest(1, 5)])
+        with pytest.raises(ValueError):
+            emu.emulate_step(step)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LeveledEmulator(_net(), 10, mode="qrqw")
+
+    def test_processor_bound_checked(self):
+        emu = LeveledEmulator(_net(), address_space=64, seed=8)
+        step = StepTrace(reads=[ReadRequest(999, 5)])
+        with pytest.raises(ValueError):
+            emu.emulate_step(step)
+
+
+class TestCombining:
+    def test_hotspot_concurrent_reads_combine(self):
+        net = _net()
+        emu = LeveledEmulator(net, address_space=128, mode="crcw", seed=9)
+        emu.memory.write(17, "hot")
+        step = StepTrace(reads=[ReadRequest(pid, 17) for pid in range(net.column_size)])
+        cost = emu.emulate_step(step)
+        assert cost.combines > 0
+        # all 27 readers answered (validated internally), in Õ(diameter)
+        assert cost.total_steps <= 12 * emu.scale
+
+    def test_hotspot_not_slower_than_linear(self):
+        # Without combining, N concurrent reads of one cell would need
+        # Ω(N) steps at the module's link; combining keeps it near the
+        # diameter (the whole point of Theorem 2.6).
+        net = DAryButterflyLeveled(2, 5)  # 32 processors
+        emu = LeveledEmulator(net, address_space=64, mode="crcw", seed=10)
+        step = StepTrace(reads=[ReadRequest(pid, 3) for pid in range(32)])
+        cost = emu.emulate_step(step)
+        assert cost.total_steps < 32  # far below the N lower bound sans combining
+
+    def test_concurrent_writes_resolved_by_policy(self):
+        net = _net()
+        emu = LeveledEmulator(
+            net, address_space=64, mode="crcw",
+            write_policy=WritePolicy.COMBINE, combine_op="sum", seed=11,
+        )
+        step = StepTrace(writes=[WriteRequest(pid, 9, 1) for pid in range(10)])
+        emu.emulate_step(step)
+        assert emu.memory.read(9) == 10
+
+    def test_priority_write_policy(self):
+        net = _net()
+        emu = LeveledEmulator(
+            net, address_space=64, mode="crcw",
+            write_policy=WritePolicy.PRIORITY, seed=12,
+        )
+        step = StepTrace(
+            writes=[WriteRequest(5, 9, "five"), WriteRequest(2, 9, "two")]
+        )
+        emu.emulate_step(step)
+        assert emu.memory.read(9) == "two"
+
+
+class TestTraceEmulation:
+    def test_random_trace_on_butterfly(self):
+        net = _net()
+        emu = LeveledEmulator(net, address_space=512, seed=13)
+        trace = random_trace(net.column_size, 512, 4, seed=14)
+        report = emu.emulate_trace(trace)
+        assert report.pram_steps == 4
+        assert report.total_network_steps > 0
+        assert max(report.normalized_step_times()) <= 12
+
+    def test_star_logical_emulation(self):
+        net = StarLogicalLeveled(4)  # 24 processors
+        emu = LeveledEmulator(net, address_space=128, intermediate="node", seed=15)
+        step = permutation_step(net.column_size, 128, seed=16)
+        cost = emu.emulate_step(step)
+        assert cost.total_steps <= 12 * emu.scale
+
+    def test_shuffle_emulation(self):
+        net = ShuffleLeveled(3, 3)
+        emu = LeveledEmulator(net, address_space=128, seed=17)
+        step = permutation_step(net.column_size, 128, seed=18)
+        cost = emu.emulate_step(step)
+        assert cost.total_steps <= 12 * emu.scale
+
+    def test_empty_step_costs_nothing(self):
+        emu = LeveledEmulator(_net(), address_space=16, seed=19)
+        report = emu.emulate_trace(MemoryTrace(steps=[StepTrace()]))
+        assert report.total_network_steps == 0
+
+    def test_report_aggregates(self):
+        net = _net()
+        emu = LeveledEmulator(net, address_space=256, seed=20)
+        trace = random_trace(net.column_size, 256, 3, seed=21)
+        report = emu.emulate_trace(trace)
+        assert report.mean_step_time > 0
+        assert report.max_step_time >= report.mean_step_time
+        assert report.step_time_summary().n == 3
+
+
+class TestRehashing:
+    def test_forced_rehash_recovers(self):
+        # An absurdly tight allotment forces rehashes; the emulator must
+        # still terminate (via the generous fallback) and count them.
+        net = _net()
+        emu = LeveledEmulator(
+            net, address_space=128, rehash_factor=0.1, max_rehashes=2, seed=22
+        )
+        step = permutation_step(net.column_size, 128, seed=23)
+        cost = emu.emulate_step(step)
+        assert cost.rehashes == 2
+        assert emu.rehash_count == 2
+
+    def test_normal_runs_do_not_rehash(self):
+        net = _net()
+        emu = LeveledEmulator(net, address_space=128, seed=24)
+        step = permutation_step(net.column_size, 128, seed=25)
+        cost = emu.emulate_step(step)
+        assert cost.rehashes == 0
+
+    def test_rehash_changes_function(self):
+        emu = LeveledEmulator(_net(), address_space=128, seed=26)
+        before = list(emu.hash.coeffs)
+        emu.rehash()
+        assert emu.hash.coeffs != before
+        assert emu.rehash_count == 1

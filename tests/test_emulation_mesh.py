@@ -1,0 +1,216 @@
+"""Tests for mesh emulation (Theorems 3.2-3.3) and the baselines."""
+
+import pytest
+
+from repro.emulation import (
+    KarlinUpfalMeshEmulator,
+    LeveledEmulator,
+    MeshEmulator,
+    RanadeEmulator,
+    locality_slice_rows,
+)
+from repro.pram import (
+    ReadRequest,
+    StepTrace,
+    WritePolicy,
+    WriteRequest,
+    local_step_for_mesh,
+    permutation_step,
+    random_trace,
+)
+from repro.topology import Mesh2D
+
+
+class TestMeshEmulatorBasics:
+    def test_read_write_roundtrip(self):
+        emu = MeshEmulator(Mesh2D.square(4), address_space=64, seed=1)
+        emu.emulate_step(StepTrace(writes=[WriteRequest(0, 9, "v")]))
+        assert emu.memory.read(9) == "v"
+        cost = emu.emulate_step(StepTrace(reads=[ReadRequest(7, 9)]))
+        assert cost.reply_steps > 0
+
+    def test_full_permutation_step_time_shape(self):
+        # Theorem 3.2: 4n + o(n).  At small n the o(n) term is visible, so
+        # assert a generous multiple; the benchmark tracks the trend.
+        n = 12
+        emu = MeshEmulator(Mesh2D.square(n), address_space=4 * n * n, seed=2)
+        step = permutation_step(n * n, 4 * n * n, seed=3)
+        cost = emu.emulate_step(step)
+        assert cost.total_steps <= 8 * n
+        assert cost.request_steps <= 4.5 * n  # each phase 2n + o(n)
+
+    def test_erew_rejects_concurrent(self):
+        emu = MeshEmulator(Mesh2D.square(4), address_space=32, seed=4)
+        step = StepTrace(reads=[ReadRequest(0, 5), ReadRequest(1, 5)])
+        with pytest.raises(ValueError):
+            emu.emulate_step(step)
+
+    def test_crcw_hotspot_combines(self):
+        n = 6
+        emu = MeshEmulator(
+            Mesh2D.square(n), address_space=64, mode="crcw", seed=5
+        )
+        emu.memory.write(3, "hot")
+        step = StepTrace(reads=[ReadRequest(pid, 3) for pid in range(n * n)])
+        cost = emu.emulate_step(step)
+        assert cost.combines > 0
+        assert cost.total_steps < n * n  # combining beats serialization
+
+    def test_crcw_combining_write(self):
+        emu = MeshEmulator(
+            Mesh2D.square(4),
+            address_space=32,
+            mode="crcw",
+            write_policy=WritePolicy.COMBINE,
+            combine_op="sum",
+            seed=6,
+        )
+        step = StepTrace(writes=[WriteRequest(pid, 2, 1) for pid in range(8)])
+        emu.emulate_step(step)
+        assert emu.memory.read(2) == 8
+
+    def test_trace_report(self):
+        n = 6
+        emu = MeshEmulator(Mesh2D.square(n), address_space=128, seed=7)
+        trace = random_trace(n * n, 128, 3, seed=8)
+        report = emu.emulate_trace(trace)
+        assert report.pram_steps == 3
+        assert report.scale == n
+
+    def test_validation_bounds(self):
+        emu = MeshEmulator(Mesh2D.square(3), address_space=16, seed=9)
+        with pytest.raises(ValueError):
+            emu.emulate_step(StepTrace(reads=[ReadRequest(99, 0)]))
+        with pytest.raises(ValueError):
+            MeshEmulator(Mesh2D.square(3), 16, mode="qrqw")
+        with pytest.raises(ValueError):
+            MeshEmulator(Mesh2D.square(3), 16, placement="striped")
+
+
+class TestLocality:
+    def test_direct_placement_requires_small_address_space(self):
+        with pytest.raises(ValueError):
+            MeshEmulator(Mesh2D.square(3), address_space=100, placement="direct")
+
+    def test_locality_slice_rows_sublinear(self):
+        assert locality_slice_rows(4) >= 1
+        assert locality_slice_rows(64) < 64
+        # o(δ): the ratio shrinks
+        assert locality_slice_rows(256) / 256 < locality_slice_rows(16) / 16
+
+    def test_local_step_time_scales_with_delta_not_n(self):
+        # Theorem 3.3: time 6δ + o(δ), independent of the mesh side n.
+        n, delta = 16, 3
+        emu = MeshEmulator(
+            Mesh2D.square(n),
+            address_space=n * n,
+            placement="direct",
+            slice_rows=locality_slice_rows(delta),
+            seed=10,
+        )
+        step = local_step_for_mesh(n, delta, seed=11)
+        cost = emu.emulate_step(step)
+        # well below the global bound 4n = 64; within the 6δ + o(δ) claim
+        assert cost.total_steps <= 6 * delta + 14
+
+    def test_local_requests_unaffected_by_rehash_logic(self):
+        n = 8
+        emu = MeshEmulator(
+            Mesh2D.square(n), address_space=n * n, placement="direct", seed=12
+        )
+        step = local_step_for_mesh(n, 2, seed=13)
+        cost = emu.emulate_step(step)
+        assert cost.rehashes == 0
+
+
+class TestKarlinUpfalBaseline:
+    def test_four_phases_roughly_double_two(self):
+        n = 10
+        step = permutation_step(n * n, 2 * n * n, seed=14)
+        ours = MeshEmulator(Mesh2D.square(n), 2 * n * n, seed=15)
+        ku = KarlinUpfalMeshEmulator(Mesh2D.square(n), 2 * n * n, seed=15)
+        c_ours = ours.emulate_step(step)
+        c_ku = ku.emulate_step(step)
+        assert c_ku.total_steps > c_ours.total_steps
+        ratio = c_ku.total_steps / c_ours.total_steps
+        assert 1.3 <= ratio <= 3.5  # ≈2 with small-n noise
+
+    def test_ku_memory_correctness(self):
+        emu = KarlinUpfalMeshEmulator(Mesh2D.square(4), 32, seed=16)
+        emu.emulate_step(StepTrace(writes=[WriteRequest(1, 5, "x")]))
+        assert emu.memory.read(5) == "x"
+
+    def test_ku_rejects_crcw(self):
+        with pytest.raises(ValueError):
+            KarlinUpfalMeshEmulator(Mesh2D.square(4), 32, mode="crcw")
+        emu = KarlinUpfalMeshEmulator(Mesh2D.square(4), 32, seed=17)
+        step = StepTrace(reads=[ReadRequest(0, 1), ReadRequest(1, 1)])
+        with pytest.raises(ValueError):
+            emu.emulate_step(step)
+
+
+class TestRanadeBaseline:
+    def test_single_step_completes(self):
+        emu = RanadeEmulator(4, address_space=64, seed=18)  # 16 processors
+        step = permutation_step(16, 64, seed=19)
+        cost = emu.emulate_step(step)
+        assert cost.total_steps > 0
+        assert cost.requests == 16
+
+    def test_memory_roundtrip(self):
+        emu = RanadeEmulator(3, address_space=32, seed=20)
+        emu.emulate_step(StepTrace(writes=[WriteRequest(2, 7, "w")]))
+        assert emu.memory.read(7) == "w"
+
+    def test_rejects_non_erew(self):
+        emu = RanadeEmulator(3, address_space=32, seed=21)
+        step = StepTrace(reads=[ReadRequest(0, 1), ReadRequest(1, 1)])
+        with pytest.raises(ValueError):
+            emu.emulate_step(step)
+
+    def test_constant_larger_than_leveled_under_load(self):
+        # E10's headline: under realistic load the Ranade machinery's
+        # normalized constant far exceeds the direct algorithms' (the
+        # merge is node-serialized; ours forwards on all links at once).
+        import numpy as np
+
+        from repro.topology import DAryButterflyLeveled
+
+        k, h = 5, 6
+        rows = 1 << k
+        rng = np.random.default_rng(22)
+        addrs = rng.choice(16 * rows, size=h * rows, replace=False)
+        step = StepTrace(
+            reads=[ReadRequest(i % rows, int(a)) for i, a in enumerate(addrs)]
+        )
+        ranade = RanadeEmulator(k, address_space=16 * rows, seed=23)
+        const_ranade = ranade.emulate_step(step).total_steps / ranade.scale
+        lev = LeveledEmulator(DAryButterflyLeveled(2, k), 16 * rows, seed=23)
+        const_lev = lev.emulate_step(step).total_steps / lev.scale
+        assert const_ranade > 1.3 * const_lev
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RanadeEmulator(0, 16)
+        with pytest.raises(ValueError):
+            RanadeEmulator(2, 16, buffer_size=0)
+
+
+class TestCrossEmulatorConsistency:
+    def test_same_program_same_memory_result(self):
+        # The same write/read sequence leaves identical memory contents on
+        # every emulator (they differ only in cost, never in semantics).
+        steps = [
+            StepTrace(writes=[WriteRequest(pid, pid, pid * 10) for pid in range(9)]),
+            StepTrace(reads=[ReadRequest(pid, (pid + 1) % 9) for pid in range(9)]),
+        ]
+        from repro.topology import DAryButterflyLeveled
+
+        mesh_emu = MeshEmulator(Mesh2D.square(3), 16, seed=25)
+        lev_emu = LeveledEmulator(DAryButterflyLeveled(3, 2), 16, seed=25)
+        for s in steps:
+            mesh_emu.emulate_step(s)
+            lev_emu.emulate_step(s)
+        for addr in range(9):
+            assert mesh_emu.memory.read(addr) == addr * 10
+            assert lev_emu.memory.read(addr) == addr * 10

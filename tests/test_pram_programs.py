@@ -1,0 +1,161 @@
+"""Tests for the PRAM program library and synthetic traces."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import (
+    ALL_PROGRAM_BUILDERS,
+    AccessMode,
+    boolean_or,
+    broadcast,
+    find_max,
+    h_relation_step,
+    histogram,
+    hotspot_step,
+    list_ranking,
+    local_step_for_mesh,
+    matrix_multiply,
+    odd_even_sort,
+    parallel_sum,
+    permutation_step,
+    prefix_sum,
+    random_trace,
+)
+
+
+class TestPrograms:
+    def test_all_builders_run_and_verify(self):
+        for name, builder in ALL_PROGRAM_BUILDERS.items():
+            spec = builder()
+            spec.run()  # verify() raises on failure
+
+    def test_parallel_sum_values(self):
+        spec = parallel_sum([2.0] * 32)
+        pram = spec.run()
+        assert pram.memory.read(0) == 64.0
+
+    def test_parallel_sum_step_count_logarithmic(self):
+        spec = parallel_sum(list(range(64)))
+        pram = spec.run()
+        # 3 PRAM steps per round, log2(64)=6 rounds
+        assert pram.steps_executed == 3 * 6
+
+    def test_parallel_sum_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            parallel_sum([1, 2, 3])
+
+    @given(st.lists(st.integers(-100, 100), min_size=8, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_prefix_sum_property(self, values):
+        prefix_sum(values).run()
+
+    def test_broadcast_steps(self):
+        spec = broadcast(32, value="hello")
+        pram = spec.run()
+        assert pram.steps_executed == 2 * 5
+
+    def test_boolean_or_all_zero(self):
+        boolean_or([0] * 8).run()
+
+    def test_boolean_or_single_one(self):
+        spec = boolean_or([0, 0, 1, 0])
+        pram = spec.run()
+        assert pram.steps_executed == 2  # O(1) CRCW trick
+
+    def test_find_max_with_duplicates(self):
+        find_max([5, 9, 9, 1]).run()
+
+    def test_find_max_negative(self):
+        find_max([-5, -2, -9]).run()
+
+    @given(st.lists(st.integers(0, 50), min_size=2, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_find_max_property(self, values):
+        find_max(values).run()
+
+    def test_list_ranking_chain(self):
+        # 0 -> 1 -> 2 -> 3 (tail), ranks = 3,2,1,0
+        pram = list_ranking([1, 2, 3, 3]).run()
+        n = 4
+        assert [pram.memory.read(n + i) for i in range(n)] == [3, 2, 1, 0]
+
+    def test_list_ranking_shuffled(self):
+        # list: 2 -> 0 -> 3 -> 1(tail): next[2]=0, next[0]=3, next[3]=1, next[1]=1
+        list_ranking([3, 1, 0, 1]).run()
+
+    def test_list_ranking_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            list_ranking([1, 0])
+
+    def test_matrix_multiply_identity(self):
+        ident = [[1, 0], [0, 1]]
+        a = [[2, 3], [4, 5]]
+        matrix_multiply(a, ident).run()
+
+    def test_matrix_multiply_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            matrix_multiply([[1, 2]], [[1], [2]])
+
+    @given(st.lists(st.integers(-20, 20), min_size=2, max_size=12))
+    @settings(max_examples=20, deadline=None)
+    def test_odd_even_sort_property(self, values):
+        odd_even_sort(values).run()
+
+    def test_histogram_counts(self):
+        pram = histogram([1, 1, 1, 0], 2).run()
+        assert pram.memory.read(4) == 1
+        assert pram.memory.read(5) == 3
+
+    def test_histogram_validates_keys(self):
+        with pytest.raises(ValueError):
+            histogram([5], 2)
+
+
+class TestSyntheticTraces:
+    def test_permutation_step_is_erew(self):
+        step = permutation_step(16, 64, seed=1)
+        assert step.is_erew()
+        assert step.num_requests == 16
+
+    def test_permutation_step_write_kind(self):
+        step = permutation_step(8, 32, seed=2, kind="write")
+        assert len(step.writes) == 8 and not step.reads
+
+    def test_permutation_step_validates(self):
+        with pytest.raises(ValueError):
+            permutation_step(10, 5, seed=0)
+
+    def test_h_relation_step_concurrency(self):
+        step = h_relation_step(16, 64, h=3, seed=3)
+        assert step.num_requests == 48
+        assert step.max_concurrency() <= 3
+
+    def test_hotspot_step_concentrates(self):
+        step = hotspot_step(64, 256, hot_addresses=1, hot_fraction=1.0, seed=4)
+        assert step.max_concurrency() == 64
+
+    def test_hotspot_fraction_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_step(4, 16, hot_fraction=1.5)
+
+    def test_local_step_respects_distance(self):
+        n, d = 8, 2
+        step = local_step_for_mesh(n, d, seed=5)
+        assert step.num_requests == n * n
+        for req in step.reads:
+            pr, pc = divmod(req.pid, n)
+            ar, ac = divmod(req.addr, n)
+            assert abs(pr - ar) + abs(pc - ac) <= d
+
+    def test_random_trace_shape(self):
+        trace = random_trace(16, 64, 5, seed=6)
+        assert len(trace) == 5
+        assert all(s.is_erew() for s in trace)
+        assert trace.total_requests == 80
+
+    def test_random_trace_non_erew(self):
+        trace = random_trace(32, 8, 3, seed=7, erew=False)
+        assert any(not s.is_erew() for s in trace)

@@ -1,0 +1,139 @@
+"""Property-based tests on the library's cross-cutting invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import queue_line_check
+from repro.emulation import LeveledEmulator
+from repro.pram import ReadRequest, StepTrace
+from repro.routing import LeveledRouter, MeshRouter, SynchronousEngine, make_packets
+from repro.topology import DAryButterflyLeveled, DWayShuffle, Mesh2D, StarGraph
+
+
+class TestRoutingInvariants:
+    @given(
+        d=st.integers(2, 3),
+        levels=st.integers(2, 5),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_leveled_routing_always_delivers_exact_hops(self, d, levels, seed):
+        """Every packet crosses exactly 2L links and arrives; no routing
+        randomness can break delivery (Theorem 2.1's setting)."""
+        net = DAryButterflyLeveled(d, levels)
+        router = LeveledRouter(net, seed=seed)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        assert set(stats.hops) == {2 * levels}
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_mesh_many_one_always_delivers(self, seed):
+        """Arbitrary (even many-one) request patterns terminate."""
+        rng = np.random.default_rng(seed)
+        mesh = Mesh2D.square(6)
+        sources = np.arange(36)
+        dests = rng.integers(0, 36, size=36)
+        stats = MeshRouter(mesh, seed=seed).route(sources, dests, max_steps=5000)
+        assert stats.completed
+
+    @given(
+        n=st.integers(3, 5),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_star_routing_total_hops_bounded(self, n, seed):
+        from repro.routing import StarRouter
+
+        star = StarGraph(n)
+        router = StarRouter(star, seed=seed)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        assert stats.max_hops <= 2 * star.diameter  # two greedy phases
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_queue_line_lemma_on_single_pass_runs(self, seed):
+        """Fact 2.1 audited in its actual setting: a single unique-path
+        pass over a *leveled* network, where links are level-distinguished
+        and the scheme is therefore nonrepeating.
+
+        (On the physical shuffle the same directed link recurs at
+        different hop indices, nonrepeating fails, and the lemma is not
+        guaranteed — hypothesis found such a counterexample, which is why
+        this test routes on the logical leveled view.)
+        """
+        net = DAryButterflyLeveled(2, 4)
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(net.column_size)
+
+        def next_hop(p):
+            level, row = p.node
+            if level == net.num_levels:
+                return None
+            return (level + 1, net.unique_next(level, row, p.dest))
+
+        packets = make_packets([(0, int(s)) for s in range(net.column_size)], perm)
+        engine = SynchronousEngine(track_paths=True)
+        stats = engine.run(packets, next_hop, max_steps=500)
+        assert stats.completed
+        assert queue_line_check(packets) == []
+
+
+class TestCombiningInvariants:
+    @given(
+        n_readers=st.integers(2, 32),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_every_reader_of_a_hotspot_is_answered(self, n_readers, seed):
+        """The combining tree plus reply fan-out never loses a reader."""
+        net = DAryButterflyLeveled(2, 5)
+        emu = LeveledEmulator(net, address_space=64, mode="crcw", seed=seed)
+        emu.memory.write(7, "v")
+        step = StepTrace(reads=[ReadRequest(pid, 7) for pid in range(n_readers)])
+        cost = emu.emulate_step(step)  # internal validation counts replies
+        assert cost.requests == n_readers
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_emulated_memory_equals_pram_memory(self, seed):
+        """Random EREW write/read traces leave identical memory on the
+        abstract PRAM and the emulated network."""
+        from repro.pram import random_trace
+
+        net = DAryButterflyLeveled(2, 4)
+        m = 64
+        trace = random_trace(net.column_size, m, 3, seed=seed)
+        emu = LeveledEmulator(net, address_space=m, seed=seed)
+        emu.emulate_trace(trace)
+        # reference: apply the same writes directly
+        from repro.pram import SharedMemory
+
+        ref = SharedMemory(m)
+        for step in trace:
+            for w in step.writes:
+                ref.write(w.addr, w.value)
+        for addr in range(m):
+            assert emu.memory.read(addr) == ref.read(addr)
+
+
+class TestHashInvariants:
+    @given(
+        m=st.integers(16, 2048),
+        n_modules=st.integers(2, 128),
+        s=st.integers(1, 12),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_hash_range_and_determinism(self, m, n_modules, s, seed):
+        from repro.hashing import HashFamily
+
+        family = HashFamily(m, n_modules, s)
+        h1 = family.sample(seed=seed)
+        h2 = family.sample(seed=seed)
+        xs = np.arange(min(m, 256))
+        mapped = h1.map(xs)
+        assert mapped.min() >= 0 and mapped.max() < n_modules
+        assert np.array_equal(mapped, h2.map(xs))

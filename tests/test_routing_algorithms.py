@@ -1,0 +1,322 @@
+"""Tests for the paper's routing algorithms (Algorithms 2.1-2.3, §3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.routing import (
+    GreedyMeshRouter,
+    GreedyRouter,
+    LeveledRouter,
+    MeshRouter,
+    ShuffleRouter,
+    StarRouter,
+    ValiantHypercubeRouter,
+    adversarial_star_permutation,
+    default_slice_rows,
+    random_linear_instance,
+    route_linear,
+    transpose_permutation,
+    valiant_shuffle_route,
+)
+from repro.topology import (
+    DAryButterflyLeveled,
+    DWayShuffle,
+    Hypercube,
+    Mesh2D,
+    ShuffleLeveled,
+    StarGraph,
+    StarLogicalLeveled,
+)
+
+
+class TestLeveledRouter:
+    @pytest.mark.parametrize("mode", ["coin", "node"])
+    def test_permutation_routing_delivers(self, mode):
+        net = DAryButterflyLeveled(3, 3)  # 27 rows
+        router = LeveledRouter(net, intermediate=mode, seed=1)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        assert stats.delivered == 27
+        # every packet crosses exactly 2L links
+        assert all(h == 2 * net.num_levels for h in stats.hops)
+
+    def test_time_linear_in_levels(self):
+        # Theorem 2.1 shape check: time/(2L) stays bounded as L grows.
+        ratios = []
+        for d, L in [(2, 4), (2, 6), (2, 8)]:
+            net = DAryButterflyLeveled(d, L)
+            router = LeveledRouter(net, seed=2)
+            stats = router.route_random_permutation()
+            assert stats.completed
+            ratios.append(stats.steps / (2 * L))
+        assert max(ratios) < 6.0  # Õ(ℓ) with small constant
+
+    def test_star_logical_network_routing(self):
+        net = StarLogicalLeveled(4)
+        router = LeveledRouter(net, intermediate="node", seed=3)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        assert stats.delivered == 24
+
+    def test_shuffle_leveled_routing(self):
+        net = ShuffleLeveled(3, 3)
+        router = LeveledRouter(net, intermediate="coin", seed=4)
+        stats = router.route_random_permutation()
+        assert stats.completed
+
+    def test_h_relation_routing(self):
+        # Theorem 2.4: cℓ packets per node still finishes.
+        net = DAryButterflyLeveled(2, 4)
+        router = LeveledRouter(net, seed=5)
+        n = net.column_size
+        rng = np.random.default_rng(0)
+        h = net.num_levels
+        sources = np.repeat(np.arange(n), h)
+        dests = np.concatenate([rng.permutation(n) for _ in range(h)])
+        stats = router.route_h_relation(sources, dests)
+        assert stats.completed
+        assert stats.delivered == h * n
+
+    def test_bad_permutation_rejected(self):
+        net = DAryButterflyLeveled(2, 2)
+        router = LeveledRouter(net, seed=0)
+        with pytest.raises(ValueError):
+            router.route_permutation([0, 0, 1, 2])
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LeveledRouter(DAryButterflyLeveled(2, 2), intermediate="magic")
+
+    def test_seeded_runs_reproduce(self):
+        net = DAryButterflyLeveled(2, 5)
+        s1 = LeveledRouter(net, seed=11).route_random_permutation()
+        s2 = LeveledRouter(net, seed=11).route_random_permutation()
+        assert s1.steps == s2.steps
+        assert s1.max_queue == s2.max_queue
+
+
+class TestStarRouter:
+    def test_permutation_routing_delivers(self):
+        star = StarGraph(4)
+        router = StarRouter(star, seed=1)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        assert stats.delivered == 24
+
+    def test_time_order_of_diameter(self):
+        # Theorem 2.2: Õ(n) — check time within a small multiple of diameter.
+        star = StarGraph(5)
+        router = StarRouter(star, seed=2)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        assert stats.steps <= 8 * star.diameter
+
+    def test_n_relation(self):
+        star = StarGraph(4)
+        router = StarRouter(star, seed=3)
+        stats = router.route_n_relation()
+        assert stats.completed
+
+    def test_deterministic_variant(self):
+        star = StarGraph(4)
+        router = StarRouter(star, seed=4, randomized=False)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        # hop counts are exact star distances for the greedy variant
+        assert stats.max_hops <= star.diameter
+
+    def test_adversarial_permutation_is_valid(self):
+        star = StarGraph(5)
+        perm = adversarial_star_permutation(star)
+        assert sorted(perm.tolist()) == list(range(star.num_nodes))
+
+    def test_bad_permutation_rejected(self):
+        star = StarGraph(3)
+        with pytest.raises(ValueError):
+            StarRouter(star, seed=0).route_permutation([0, 1])
+
+
+class TestShuffleRouter:
+    def test_permutation_routing_delivers(self):
+        sh = DWayShuffle(3, 3)
+        router = ShuffleRouter(sh, seed=1)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        assert stats.delivered == 27
+        assert all(h == 2 * sh.n for h in stats.hops)
+
+    def test_n_way_shuffle(self):
+        sh = DWayShuffle.n_way(3)
+        router = ShuffleRouter(sh, seed=2)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        assert stats.steps <= 10 * sh.n
+
+    def test_n_relation(self):
+        sh = DWayShuffle(3, 3)
+        stats = ShuffleRouter(sh, seed=3).route_n_relation()
+        assert stats.completed
+
+    def test_deterministic_single_pass(self):
+        sh = DWayShuffle(3, 3)
+        router = ShuffleRouter(sh, seed=4, randomized=False)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        assert all(h == sh.n for h in stats.hops)
+
+    def test_bad_permutation_rejected(self):
+        sh = DWayShuffle(2, 2)
+        with pytest.raises(ValueError):
+            ShuffleRouter(sh, seed=0).route_permutation([0, 1, 2, 0])
+
+
+class TestMeshRouter:
+    def test_permutation_routing_delivers(self):
+        mesh = Mesh2D.square(8)
+        router = MeshRouter(mesh, seed=1)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        assert stats.delivered == 64
+
+    def test_time_close_to_2n(self):
+        # Theorem 3.1 shape: 2n + o(n).
+        n = 16
+        mesh = Mesh2D.square(n)
+        router = MeshRouter(mesh, seed=2)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        assert stats.steps <= 3.5 * n
+
+    def test_fifo_discipline_also_works(self):
+        mesh = Mesh2D.square(8)
+        router = MeshRouter(mesh, seed=3, discipline="fifo")
+        stats = router.route_random_permutation()
+        assert stats.completed
+
+    def test_bad_discipline_rejected(self):
+        with pytest.raises(ValueError):
+            MeshRouter(Mesh2D.square(4), discipline="lifo")
+
+    def test_node_capacity_variant_completes(self):
+        mesh = Mesh2D.square(8)
+        router = MeshRouter(mesh, seed=4, node_capacity=8)
+        stats = router.route_random_permutation()
+        assert stats.completed
+
+    def test_slice_rows_default(self):
+        assert default_slice_rows(2) == 1
+        assert default_slice_rows(16) == 4
+        assert default_slice_rows(64) == 11  # 64/log2(64) rounded
+
+    def test_explicit_slice_rows(self):
+        mesh = Mesh2D.square(8)
+        router = MeshRouter(mesh, seed=5, slice_rows=8)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        with pytest.raises(ValueError):
+            MeshRouter(mesh, slice_rows=0)
+
+    def test_many_one_pattern_completes(self):
+        # many-one routing (§2.2.1): all packets to one node, combining off.
+        mesh = Mesh2D.square(6)
+        router = MeshRouter(mesh, seed=6)
+        sources = np.arange(36)
+        dests = np.zeros(36, dtype=int)
+        stats = router.route(sources, dests, max_steps=5000)
+        assert stats.completed
+
+    def test_greedy_baseline(self):
+        mesh = Mesh2D.square(6)
+        router = GreedyMeshRouter(mesh)
+        stats = router.route(np.arange(36), np.random.default_rng(0).permutation(36))
+        assert stats.completed
+
+
+class TestLinearRouting:
+    def test_single_line_routing(self):
+        stats = route_linear(10, [0, 9], [9, 0])
+        assert stats.completed
+        assert stats.steps == 9
+
+    def test_random_instance_bound(self):
+        # §3.4.1: n' random packets finish in about n' + o(n) steps.
+        n, total = 40, 40
+        origins, dests = random_linear_instance(n, total, seed=7)
+        stats = route_linear(n, origins, dests)
+        assert stats.completed
+        assert stats.steps <= 2 * n
+
+    def test_fifo_vs_furthest_first(self):
+        n, total = 30, 60
+        origins, dests = random_linear_instance(n, total, seed=8)
+        ff = route_linear(n, origins, dests, discipline="furthest_first")
+        fifo = route_linear(n, origins, dests, discipline="fifo")
+        assert ff.completed and fifo.completed
+
+    def test_validates_nodes(self):
+        with pytest.raises(ValueError):
+            route_linear(5, [6], [0])
+
+    def test_bad_discipline(self):
+        with pytest.raises(ValueError):
+            route_linear(5, [0], [1], discipline="magic")
+
+
+class TestValiantBaselines:
+    def test_hypercube_random_permutation(self):
+        cube = Hypercube(5)
+        router = ValiantHypercubeRouter(cube, seed=1)
+        stats = router.route_random_permutation()
+        assert stats.completed
+        assert stats.steps <= 8 * cube.n
+
+    def test_transpose_perm_valid(self):
+        cube = Hypercube(6)
+        perm = transpose_permutation(cube)
+        assert sorted(perm.tolist()) == list(range(64))
+
+    def test_transpose_hurts_deterministic_routing(self):
+        # The classic Valiant motivation: deterministic e-cube on the
+        # transpose needs far longer than the randomized router.
+        cube = Hypercube(6)
+        perm = transpose_permutation(cube)
+        det = GreedyRouter(cube).route(np.arange(64), perm)
+        rnd = ValiantHypercubeRouter(cube, seed=2).route(np.arange(64), perm)
+        assert det.completed and rnd.completed
+        assert det.steps > cube.n  # congestion delay visible
+        assert rnd.steps <= det.steps * 2  # randomization competitive
+
+    def test_serialized_shuffle_route_completes(self):
+        sh = DWayShuffle(3, 3)
+        rng = np.random.default_rng(3)
+        stats = valiant_shuffle_route(
+            sh, np.arange(27), rng.permutation(27), seed=4
+        )
+        assert stats.completed
+
+    def test_serialized_slower_than_parallel(self):
+        sh = DWayShuffle.n_way(3)
+        rng = np.random.default_rng(5)
+        perm = rng.permutation(sh.num_nodes)
+        ser = valiant_shuffle_route(sh, np.arange(sh.num_nodes), perm, seed=6)
+        par = ShuffleRouter(sh, seed=6).route(np.arange(sh.num_nodes), perm)
+        assert ser.completed and par.completed
+        assert ser.steps >= par.steps
+
+
+class TestGreedyRouter:
+    def test_routes_on_star(self):
+        star = StarGraph(4)
+        router = GreedyRouter(star)
+        rng = np.random.default_rng(9)
+        stats = router.route(np.arange(24), rng.permutation(24))
+        assert stats.completed
+
+    def test_stall_detection(self):
+        class Broken(StarGraph):
+            def route_next(self, cur, dest):
+                return cur  # never advances
+
+        router = GreedyRouter(Broken(3))
+        with pytest.raises(RuntimeError):
+            router.route([0], [5])

@@ -1,0 +1,269 @@
+"""Tests for the synchronous engine, packets, queues, and metrics."""
+
+import pytest
+
+from repro.routing import (
+    FIFOQueue,
+    FurthestFirstQueue,
+    Packet,
+    RoutingTimeout,
+    SynchronousEngine,
+    collect_stats,
+    make_packets,
+    route_with_function,
+)
+from repro.routing.queues import furthest_first_factory
+from repro.topology import LinearArray
+
+
+def line_next_hop(array):
+    def next_hop(p):
+        if p.node == p.dest:
+            return None
+        return array.route_next(p.node, p.dest)
+
+    return next_hop
+
+
+class TestPacket:
+    def test_latency_and_delay(self):
+        p = Packet(0, 0, 3)
+        p.hops = 3
+        p.arrived_at = 5
+        assert p.latency == 5
+        assert p.delay == 2
+
+    def test_latency_requires_delivery(self):
+        p = Packet(0, 0, 3)
+        with pytest.raises(ValueError):
+            _ = p.latency
+
+    def test_absorb_builds_tree(self):
+        a, b, c = Packet(0, 0, 9), Packet(1, 1, 9), Packet(2, 2, 9)
+        a.absorb(b)
+        b.absorb(c)
+        reps = {p.pid for p in a.all_represented()}
+        assert reps == {0, 1, 2}
+
+    def test_double_absorb_rejected(self):
+        a, b = Packet(0, 0, 9), Packet(1, 1, 9)
+        a.absorb(b)
+        with pytest.raises(ValueError):
+            a.absorb(b)
+
+    def test_make_packets_validates(self):
+        with pytest.raises(ValueError):
+            make_packets([1, 2], [3])
+
+    def test_make_packets_addresses(self):
+        pkts = make_packets([0, 1], [2, 3], addresses=[10, 11])
+        assert [p.address for p in pkts] == [10, 11]
+
+
+class TestQueues:
+    def test_fifo_order(self):
+        q = FIFOQueue()
+        a, b = Packet(0, 0, 1), Packet(1, 0, 1)
+        q.push(a)
+        q.push(b)
+        assert q.peek() is a
+        assert q.pop() is a
+        assert q.pop() is b
+
+    def test_furthest_first_order(self):
+        q = FurthestFirstQueue(priority=lambda p: abs(p.dest - p.node))
+        near, far = Packet(0, 0, 1), Packet(1, 0, 9)
+        q.push(near)
+        q.push(far)
+        assert q.pop() is far
+        assert q.pop() is near
+
+    def test_furthest_first_fifo_ties(self):
+        q = FurthestFirstQueue(priority=lambda p: 1.0)
+        a, b = Packet(0, 0, 5), Packet(1, 0, 5)
+        q.push(a)
+        q.push(b)
+        assert q.pop() is a
+
+    def test_find_combinable(self):
+        q = FIFOQueue()
+        a = Packet(0, 0, 9, kind="read", address=42)
+        q.push(a)
+        assert q.find_combinable(("read", 42, 9)) is a
+        assert q.find_combinable(("read", 43, 9)) is None
+
+
+class TestEngineBasics:
+    def test_single_packet_travels_distance(self):
+        array = LinearArray(10)
+        pkts = make_packets([0], [7])
+        stats = route_with_function(pkts, line_next_hop(array), max_steps=100)
+        assert stats.completed
+        assert stats.steps == 7
+        assert pkts[0].hops == 7
+        assert pkts[0].delay == 0
+
+    def test_zero_hop_delivery(self):
+        array = LinearArray(5)
+        pkts = make_packets([3], [3])
+        stats = route_with_function(pkts, line_next_hop(array), max_steps=10)
+        assert stats.completed
+        assert stats.steps == 0
+        assert pkts[0].hops == 0
+
+    def test_one_packet_per_link_per_step(self):
+        # Two packets from node 0 to node 4 share every link: the second
+        # is delayed exactly 1 step behind the first.
+        array = LinearArray(5)
+        pkts = make_packets([0, 0], [4, 4])
+        stats = route_with_function(pkts, line_next_hop(array), max_steps=50)
+        assert stats.completed
+        assert stats.steps == 5  # 4 hops + 1 queueing delay
+        assert sorted(p.delay for p in pkts) == [0, 1]
+
+    def test_opposite_directions_no_conflict(self):
+        # Bidirectional links are two directed links: no contention.
+        array = LinearArray(5)
+        pkts = make_packets([0, 4], [4, 0])
+        stats = route_with_function(pkts, line_next_hop(array), max_steps=50)
+        assert stats.completed
+        assert stats.steps == 4
+        assert all(p.delay == 0 for p in pkts)
+
+    def test_timeout_reports_incomplete(self):
+        array = LinearArray(20)
+        pkts = make_packets([0], [19])
+        stats = route_with_function(pkts, line_next_hop(array), max_steps=5)
+        assert not stats.completed
+        assert stats.delivered == 0
+
+    def test_timeout_raises_when_asked(self):
+        array = LinearArray(20)
+        engine = SynchronousEngine()
+        pkts = make_packets([0], [19])
+        with pytest.raises(RoutingTimeout):
+            engine.run(pkts, line_next_hop(array), max_steps=5, raise_on_timeout=True)
+
+    def test_max_queue_tracks_contention(self):
+        # k packets at node 0 all heading right: queue (0,1) holds k packets.
+        array = LinearArray(6)
+        k = 4
+        pkts = make_packets([0] * k, [5] * k)
+        stats = route_with_function(pkts, line_next_hop(array), max_steps=100)
+        assert stats.completed
+        assert stats.max_queue == k
+        assert stats.max_node_load == k
+
+    def test_delayed_injection(self):
+        array = LinearArray(6)
+        pkts = make_packets([0, 0], [5, 5])
+        pkts[1].injected_at = 3
+        stats = route_with_function(pkts, line_next_hop(array), max_steps=100)
+        assert stats.completed
+        # First leaves immediately (arrives t=5); second injected at 3,
+        # clear road, arrives 3+5=8.
+        assert stats.steps == 8
+        assert pkts[1].delay == 0
+
+    def test_drained_network_with_undeliverable_raises(self):
+        # next_hop that never delivers packet but network empties is a bug
+        def bad_next_hop(p):
+            return None if p.node == p.dest else None  # pretend delivered
+
+        pkts = make_packets([0], [5])
+        stats = route_with_function(pkts, bad_next_hop, max_steps=10)
+        # "delivered" at wrong node still counts as delivered by contract:
+        # the policy is responsible for correctness.
+        assert stats.completed
+
+
+class TestEngineCombining:
+    def test_same_address_packets_combine(self):
+        array = LinearArray(6)
+        pkts = make_packets([0, 0, 0], [5, 5, 5], addresses=[7, 7, 7])
+        engine = SynchronousEngine(combine=True)
+        stats = engine.run(pkts, line_next_hop(array), max_steps=50)
+        assert stats.completed
+        assert stats.combines == 2
+        # Combined flow behaves as one packet: no queueing behind siblings.
+        assert stats.steps == 5
+        assert all(p.delivered for p in pkts)
+
+    def test_different_addresses_do_not_combine(self):
+        array = LinearArray(6)
+        pkts = make_packets([0, 0], [5, 5], addresses=[7, 8])
+        engine = SynchronousEngine(combine=True)
+        stats = engine.run(pkts, line_next_hop(array), max_steps=50)
+        assert stats.combines == 0
+        assert stats.steps == 6
+
+    def test_no_address_no_combine(self):
+        array = LinearArray(6)
+        pkts = make_packets([0, 0], [5, 5])
+        engine = SynchronousEngine(combine=True)
+        stats = engine.run(pkts, line_next_hop(array), max_steps=50)
+        assert stats.combines == 0
+
+
+class TestEngineCapacity:
+    def test_node_capacity_limits_load(self):
+        array = LinearArray(8)
+        k = 6
+        pkts = make_packets([0] * k, [7] * k)
+        engine = SynchronousEngine(node_capacity=2)
+        stats = engine.run(pkts, line_next_hop(array), max_steps=500)
+        assert stats.completed
+        # Source node itself holds k, but downstream nodes obey the cap.
+        assert stats.max_queue >= 1
+
+    def test_node_service_rate_serializes(self):
+        # Node 2 receives from both sides and must forward both right;
+        # with service rate 1 its two out-queues (2,3),(2,1)... use a Y:
+        # two packets both pass through node 2 to different next nodes.
+        array = LinearArray(5)
+
+        def next_hop(p):
+            if p.node == p.dest:
+                return None
+            return array.route_next(p.node, p.dest)
+
+        # packets: 2->0 and 2->4: distinct out-links of node 2.
+        pkts = make_packets([2, 2], [0, 4])
+        par = SynchronousEngine().run(
+            [Packet(p.pid, p.source, p.dest) for p in pkts], next_hop, max_steps=50
+        )
+        ser = SynchronousEngine(node_service_rate=1).run(
+            pkts, next_hop, max_steps=50
+        )
+        assert par.steps == 2  # both leave simultaneously
+        assert ser.steps == 3  # serialized: one waits a step
+
+
+class TestPathTracking:
+    def test_trace_records_visited_nodes(self):
+        array = LinearArray(6)
+        pkts = make_packets([1], [4])
+        engine = SynchronousEngine(track_paths=True)
+        stats = engine.run(pkts, line_next_hop(array), max_steps=50)
+        assert stats.completed
+        assert pkts[0].trace == [1, 2, 3, 4]
+
+
+class TestStats:
+    def test_collect_stats_fields(self):
+        pkts = make_packets([0, 1], [1, 0])
+        pkts[0].hops, pkts[0].arrived_at = 1, 1
+        pkts[1].hops, pkts[1].arrived_at = 1, 2
+        stats = collect_stats(pkts, steps=2, max_queue=1, completed=True)
+        assert stats.delivered == 2
+        assert stats.max_delay == 1
+        assert stats.mean_delay == 0.5
+        assert stats.routing_time == 2
+
+    def test_normalized_time(self):
+        pkts = make_packets([0], [1])
+        pkts[0].hops, pkts[0].arrived_at = 1, 1
+        stats = collect_stats(pkts, steps=10, max_queue=1, completed=True)
+        assert stats.normalized_time(5) == 2.0
+        with pytest.raises(ValueError):
+            stats.normalized_time(0)

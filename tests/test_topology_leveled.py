@@ -1,0 +1,151 @@
+"""Tests for the leveled-network abstraction (§2.3.1, Figures 1, 3, 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    DAryButterflyLeveled,
+    ShuffleLeveled,
+    StarLogicalLeveled,
+)
+
+
+def _count_paths(net, src: int, dst: int) -> int:
+    """Number of layered paths from column-0 src to last-column dst."""
+    counts = {src: 1}
+    for level in range(net.num_levels):
+        nxt: dict[int, int] = {}
+        for node, c in counts.items():
+            for w in net.out_neighbors(level, node):
+                nxt[w] = nxt.get(w, 0) + c
+        counts = nxt
+    return counts.get(dst, 0)
+
+
+class TestDAryButterfly:
+    def test_dimensions(self):
+        net = DAryButterflyLeveled(3, 2)
+        assert net.column_size == 9
+        assert net.num_levels == 2
+        assert net.num_columns == 3
+        assert net.degree == 3
+        assert net.total_nodes == 27
+
+    def test_out_neighbors_rewrite_one_digit(self):
+        net = DAryButterflyLeveled(3, 2)
+        # level 0 rewrites the least significant digit
+        assert sorted(net.out_neighbors(0, 4)) == [3, 4, 5]
+        # level 1 rewrites the next digit
+        assert sorted(net.out_neighbors(1, 4)) == [1, 4, 7]
+
+    def test_unique_path_reaches_destination(self):
+        net = DAryButterflyLeveled(4, 3)
+        for src, dst in [(0, 63), (17, 17), (5, 40)]:
+            path = net.unique_path(src, dst)
+            assert len(path) == net.num_columns
+            assert path[-1] == dst
+            for level, (a, b) in enumerate(zip(path, path[1:])):
+                assert b in net.out_neighbors(level, a)
+
+    def test_paths_are_graph_theoretically_unique(self):
+        net = DAryButterflyLeveled(2, 3)
+        for src in range(net.column_size):
+            for dst in range(net.column_size):
+                assert _count_paths(net, src, dst) == 1
+
+    def test_validates_ranges(self):
+        net = DAryButterflyLeveled(2, 2)
+        with pytest.raises(ValueError):
+            net.out_neighbors(2, 0)
+        with pytest.raises(ValueError):
+            DAryButterflyLeveled(1, 2)
+        with pytest.raises(ValueError):
+            DAryButterflyLeveled(2, 0)
+
+    @given(st.integers(0, 26), st.integers(0, 26))
+    @settings(max_examples=40, deadline=None)
+    def test_unique_path_property(self, src, dst):
+        net = DAryButterflyLeveled(3, 3)
+        assert net.unique_path(src, dst)[-1] == dst
+
+
+class TestShuffleLeveled:
+    def test_dimensions(self):
+        net = ShuffleLeveled(3, 3)
+        assert net.column_size == 27
+        assert net.num_levels == 3
+        assert net.degree == 3
+
+    def test_n_way(self):
+        net = ShuffleLeveled.n_way(3)
+        assert net.column_size == 27
+
+    def test_unique_paths(self):
+        net = ShuffleLeveled(2, 3)
+        for src in range(net.column_size):
+            for dst in range(net.column_size):
+                assert _count_paths(net, src, dst) == 1
+                assert net.unique_path(src, dst)[-1] == dst
+
+    def test_out_neighbors_are_shuffle_moves(self):
+        net = ShuffleLeveled(3, 3)
+        v = net.shuffle.node_id((2, 1, 0))
+        expected = {net.shuffle.node_id((l, 2, 1)) for l in range(3)}
+        for level in range(3):
+            assert set(net.out_neighbors(level, v)) == expected
+
+
+class TestStarLogical:
+    def test_dimensions(self):
+        net = StarLogicalLeveled(4)
+        assert net.column_size == 24
+        assert net.num_levels == 6  # 2*(n-1)
+        assert net.degree == 4  # n-1 swaps + self link
+
+    def test_out_neighbors_include_self(self):
+        net = StarLogicalLeveled(4)
+        for level in (0, 3, 5):
+            nbrs = net.out_neighbors(level, 7)
+            assert 7 in nbrs
+            assert len(nbrs) == 4
+
+    def test_canonical_path_reaches_destination(self):
+        net = StarLogicalLeveled(4)
+        for src in range(net.column_size):
+            for dst in (0, 5, 23):
+                path = net.unique_path(src, dst)
+                assert path[-1] == dst
+                for level, (a, b) in enumerate(zip(path, path[1:])):
+                    assert b in net.out_neighbors(level, a)
+
+    def test_canonical_path_fixes_positions_in_stage_order(self):
+        net = StarLogicalLeveled(5)
+        star = net.star
+        src, dst = 13, 99
+        path = net.unique_path(src, dst)
+        dst_perm = star.label(dst)
+        # After stage i (level 2(i+1)), positions n-1..n-1-i match dest.
+        for stage in range(net.n - 1):
+            node = path[2 * (stage + 1)]
+            perm = star.label(node)
+            for pos in range(net.n - 1 - stage, net.n):
+                assert perm[pos] == dst_perm[pos]
+
+    def test_physical_moves_are_star_edges_or_self(self):
+        net = StarLogicalLeveled(4)
+        path = net.unique_path(3, 20)
+        for a, b in zip(path, path[1:]):
+            assert a == b or b in net.star.neighbors(a)
+
+    def test_flagged_as_canonical_not_unique(self):
+        assert StarLogicalLeveled(4).has_unique_paths is False
+        assert DAryButterflyLeveled(2, 2).has_unique_paths is True
+
+    @given(st.integers(0, 119), st.integers(0, 119))
+    @settings(max_examples=50, deadline=None)
+    def test_canonical_path_property(self, src, dst):
+        net = StarLogicalLeveled(5)
+        path = net.unique_path(src, dst)
+        assert path[-1] == dst
+        assert len(path) == net.num_columns

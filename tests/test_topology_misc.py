@@ -1,0 +1,204 @@
+"""Tests for hypercube, butterfly, mesh, and linear array topologies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import Butterfly, Hypercube, LinearArray, Mesh2D
+
+
+class TestHypercube:
+    def test_counts(self):
+        h = Hypercube(4)
+        assert h.num_nodes == 16
+        assert h.degree == 4
+        assert h.diameter == 4
+
+    def test_neighbors_are_bit_flips(self):
+        h = Hypercube(3)
+        assert set(h.neighbors(0b000)) == {0b001, 0b010, 0b100}
+
+    def test_distance_is_hamming(self):
+        h = Hypercube(5)
+        assert h.distance(0b10101, 0b01010) == 5
+        assert h.distance(7, 7) == 0
+
+    def test_ecube_route_fixes_lowest_bit_first(self):
+        h = Hypercube(4)
+        assert h.route_next(0b0000, 0b1010) == 0b0010
+
+    def test_greedy_path_length_equals_distance(self):
+        h = Hypercube(4)
+        for u, v in [(0, 15), (3, 12), (9, 9)]:
+            assert len(h.greedy_path(u, v)) - 1 == h.distance(u, v)
+
+    def test_diameter_matches_bfs(self):
+        h = Hypercube(4)
+        assert h.bfs_eccentricity(0) == 4
+
+    def test_label_codec(self):
+        h = Hypercube(3)
+        assert h.label(5) == "101"
+        assert h.node_id("101") == 5
+
+
+class TestButterfly:
+    def test_counts(self):
+        b = Butterfly(3)
+        assert b.rows == 8
+        assert b.num_nodes == 4 * 8
+
+    def test_pack_unpack(self):
+        b = Butterfly(3)
+        for col in range(4):
+            for row in range(8):
+                assert b.unpack(b.pack(col, row)) == (col, row)
+
+    def test_pack_validates(self):
+        b = Butterfly(2)
+        with pytest.raises(ValueError):
+            b.pack(3, 0)
+        with pytest.raises(ValueError):
+            b.pack(0, 4)
+
+    def test_forward_edges(self):
+        b = Butterfly(3)
+        v = b.pack(1, 0b000)
+        assert set(b.forward_neighbors(v)) == {b.pack(2, 0b000), b.pack(2, 0b010)}
+
+    def test_last_column_no_forward(self):
+        b = Butterfly(2)
+        assert b.forward_neighbors(b.pack(2, 1)) == []
+
+    def test_unique_forward_path(self):
+        # Exactly one forward path column 0 -> column k for every row pair.
+        b = Butterfly(3)
+        for src_row in range(8):
+            for dst_row in range(8):
+                cur = b.pack(0, src_row)
+                for _ in range(3):
+                    cur = b.forward_next(cur, dst_row)
+                assert b.unpack(cur) == (3, dst_row)
+
+    def test_forward_path_uniqueness_by_counting(self):
+        b = Butterfly(3)
+        counts = {b.pack(0, 3): 1}
+        for _ in range(3):
+            nxt: dict[int, int] = {}
+            for node, c in counts.items():
+                for w in b.forward_neighbors(node):
+                    nxt[w] = nxt.get(w, 0) + c
+            counts = nxt
+        assert all(c == 1 for c in counts.values())
+        assert len(counts) == 8
+
+    def test_backward_next_inverts_forward(self):
+        b = Butterfly(4)
+        src_row, dst_row = 0b1010, 0b0110
+        cur = b.pack(0, src_row)
+        for _ in range(4):
+            cur = b.forward_next(cur, dst_row)
+        for _ in range(4):
+            cur = b.backward_next(cur, src_row)
+        assert b.unpack(cur) == (0, src_row)
+
+    def test_route_next_rim_to_rim(self):
+        b = Butterfly(3)
+        u = b.pack(0, 5)
+        v = b.pack(3, 2)
+        cur = u
+        hops = 0
+        while cur != v:
+            cur = b.route_next(cur, v)
+            hops += 1
+            assert hops <= 2 * b.k
+        assert hops == 3
+
+    def test_neighbors_symmetric(self):
+        b = Butterfly(2)
+        for v in range(b.num_nodes):
+            for w in b.neighbors(v):
+                assert v in b.neighbors(w)
+
+
+class TestMesh:
+    def test_counts(self):
+        m = Mesh2D.square(5)
+        assert m.num_nodes == 25
+        assert m.diameter == 8
+
+    def test_rect(self):
+        m = Mesh2D(2, 7)
+        assert m.num_nodes == 14
+        assert m.diameter == 7
+
+    def test_pack_unpack(self):
+        m = Mesh2D(3, 4)
+        assert m.unpack(m.pack(2, 3)) == (2, 3)
+        with pytest.raises(ValueError):
+            m.pack(3, 0)
+
+    def test_corner_and_center_degree(self):
+        m = Mesh2D.square(4)
+        assert len(m.neighbors(m.pack(0, 0))) == 2
+        assert len(m.neighbors(m.pack(1, 1))) == 4
+        assert len(m.neighbors(m.pack(0, 1))) == 3
+
+    def test_distance_manhattan(self):
+        m = Mesh2D.square(6)
+        assert m.distance(m.pack(0, 0), m.pack(5, 5)) == 10
+
+    def test_route_next_column_first(self):
+        m = Mesh2D.square(4)
+        cur = m.pack(0, 0)
+        dest = m.pack(3, 3)
+        assert m.unpack(m.route_next(cur, dest)) == (0, 1)
+
+    def test_greedy_path_is_shortest(self):
+        m = Mesh2D.square(5)
+        for u, v in [(0, 24), (7, 13), (20, 4)]:
+            assert len(m.greedy_path(u, v)) - 1 == m.distance(u, v)
+
+    def test_slices_partition_rows(self):
+        m = Mesh2D.square(8)
+        rows = []
+        for s in range(4):
+            rows.extend(m.slice_row_range(s, 2))
+        assert rows == list(range(8))
+        assert m.slice_of_row(5, 2) == 2
+
+    def test_slice_validation(self):
+        m = Mesh2D.square(4)
+        with pytest.raises(ValueError):
+            m.slice_row_range(9, 2)
+        with pytest.raises(ValueError):
+            m.slice_of_row(0, 0)
+
+    @given(st.integers(0, 35), st.integers(0, 35))
+    @settings(max_examples=40, deadline=None)
+    def test_route_decreases_distance(self, u, v):
+        m = Mesh2D.square(6)
+        if u == v:
+            assert m.route_next(u, v) == u
+        else:
+            assert m.distance(m.route_next(u, v), v) == m.distance(u, v) - 1
+
+
+class TestLinearArray:
+    def test_basic(self):
+        a = LinearArray(10)
+        assert a.num_nodes == 10
+        assert a.diameter == 9
+        assert a.neighbors(0) == [1]
+        assert a.neighbors(9) == [8]
+        assert set(a.neighbors(5)) == {4, 6}
+
+    def test_route(self):
+        a = LinearArray(8)
+        assert a.route_next(2, 6) == 3
+        assert a.route_next(6, 2) == 5
+        assert a.route_next(4, 4) == 4
+
+    def test_distance(self):
+        a = LinearArray(8)
+        assert a.distance(1, 7) == 6
