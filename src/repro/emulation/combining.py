@@ -64,38 +64,91 @@ def reply_next_hop(reply: Packet):
 
 
 class ReplySpawner:
-    """``on_arrival`` hook spawning child replies at merge points."""
+    """``on_arrival`` hook spawning child replies at merge points.
 
-    def __init__(self) -> None:
+    The spawn rule — every absorbed child's reply is born where the
+    child was merged, carrying the parent reply's value — lives here for
+    *both* engines.  ``reply_factory`` and ``merge_key`` parameterize
+    the representation: the defaults build trace-based replies for the
+    reference engine; the fast reply path supplies integer-path
+    equivalents (see ``LeveledEmulator._route_replies_fast``) while
+    sharing the pid assignment, double-spawn guard, and counters.
+    """
+
+    def __init__(self, *, reply_factory=None, merge_key=None) -> None:
         self._next_pid = 10_000_000  # disjoint from request pids
         self._done: set[int] = set()  # child request pids already spawned
+        self._groups: dict[int, dict] = {}  # id(request) -> merge key -> kids
+        self._make = reply_factory if reply_factory is not None else make_reply
+        self._merge_key = (
+            merge_key if merge_key is not None else self._trace_merge_key
+        )
         self.spawned = 0
+
+    @staticmethod
+    def _trace_merge_key(child: Packet):
+        """Where *child*'s reply must spawn: its absorption node."""
+        return child.trace[-1] if child.trace else None
 
     def _fresh_pid(self) -> int:
         self._next_pid += 1
         return self._next_pid
 
+    def _spawn(self, child: Packet, here, payload) -> Packet:
+        child_reply = self._make(child, self._fresh_pid(), payload)
+        child_reply.node = here
+        self._done.add(child.pid)
+        self.spawned += 1
+        return child_reply
+
     def __call__(self, reply: Packet):
+        return self.spawn_at(reply, reply.node) or None
+
+    def spawn_at(self, reply: Packet, here) -> "list[Packet]":
+        """Child replies to inject at node *here* (linear scan form)."""
         if reply.kind != "reply":
-            return None
-        _path, _idx, request = reply.state
+            return []
+        request = reply.state[2]
         children = request.children
         if not children:
-            return None
-        here = reply.node
+            return []
         out = []
         for child in children:
             # A mesh reply may revisit a node (stage-0/stage-2 overlap in
             # the same column), so guard against double-spawning.
             if child.pid in self._done:
                 continue
-            if child.trace and child.trace[-1] == here:
-                child_reply = make_reply(child, self._fresh_pid(), reply.payload)
-                child_reply.node = here
-                out.append(child_reply)
-                self._done.add(child.pid)
-                self.spawned += 1
-        return out or None
+            if self._merge_key(child) == here:
+                out.append(self._spawn(child, here, reply.payload))
+        return out
+
+    def spawn_grouped(self, reply: Packet, here) -> "list[Packet]":
+        """Like :meth:`spawn_at`, but children are bucketed by merge key
+        once per request — O(children) total instead of a full scan at
+        every node the reply visits.  Same spawns in the same order; the
+        fast reply path uses this because large combining trees make the
+        repeated scan quadratic.
+        """
+        if reply.kind != "reply":
+            return []
+        request = reply.state[2]
+        children = request.children
+        if not children:
+            return []
+        groups = self._groups.get(id(request))
+        if groups is None:
+            groups = {}
+            for child in children:
+                if child.pid in self._done:
+                    continue
+                key = self._merge_key(child)
+                if key is not None:
+                    groups.setdefault(key, []).append(child)
+            self._groups[id(request)] = groups
+        kids = groups.pop(here, None)
+        if not kids:
+            return []
+        return [self._spawn(child, here, reply.payload) for child in kids]
 
 
 def build_replies(hosts: list[Packet], values: dict[int, object], pid_base: int = 0):

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Literal
 
+import numpy as np
+
 from repro.emulation.base import Emulator, StepCost
 from repro.emulation.combining import ReplySpawner, build_replies, reply_next_hop
 from repro.hashing.family import HashFamily, degree_for_diameter
@@ -30,8 +32,10 @@ from repro.pram.memory import SharedMemory
 from repro.pram.trace import StepTrace
 from repro.pram.variants import WritePolicy, resolve_writes
 from repro.routing.engine import SynchronousEngine
+from repro.routing.fast_engine import FastPathEngine, resolve_engine_mode
 from repro.routing.leveled_router import LeveledRouter
 from repro.routing.packet import Packet
+from repro.topology.compiled import compile_leveled
 from repro.topology.leveled import LeveledNetwork
 from repro.util.rng import as_generator
 
@@ -56,6 +60,11 @@ class LeveledEmulator(Emulator):
     rehash_factor:
         Time allotment per routing phase, as a multiple of the 2L path
         length; exceeding it triggers a rehash.
+    engine:
+        Routing simulator: "auto" (default; compiled fast path, see
+        :mod:`repro.routing.fast_engine`), "fast", or "reference".  Both
+        request and reply phases honour the choice and produce identical
+        step costs under a fixed seed.
     """
 
     def __init__(
@@ -72,11 +81,14 @@ class LeveledEmulator(Emulator):
         max_rehashes: int = 8,
         seed=None,
         validate: bool = True,
+        engine: str = "auto",
     ) -> None:
         if mode not in ("erew", "crcw"):
             raise ValueError(f"unknown mode {mode!r}")
         self.net = net
         self.mode = mode
+        self.engine_mode = engine
+        resolve_engine_mode(engine)  # validate eagerly
         self.write_policy = write_policy
         self.combine_op = combine_op
         self.intermediate = intermediate
@@ -110,6 +122,15 @@ class LeveledEmulator(Emulator):
 
     # ------------------------------------------------------------------
     def _build_request_packets(self, step: StepTrace) -> list[Packet]:
+        # One vectorized hash evaluation covers the whole step: the
+        # scalar PolynomialHash.__call__ is O(S) = O(L) per address, so
+        # hashing per request used to cost O(requests * L) Python-level
+        # Horner loops per attempt.
+        addrs = [r.addr for r in step.reads]
+        addrs += [w.addr for w in step.writes]
+        if not addrs:
+            return []
+        modules = self.hash.map(np.asarray(addrs, dtype=np.int64)).tolist()
         packets: list[Packet] = []
         pid = 0
         for r in step.reads:
@@ -120,7 +141,7 @@ class LeveledEmulator(Emulator):
             p = Packet(
                 pid,
                 (0, 0, r.pid),
-                int(self.hash(r.addr)),
+                int(modules[pid]),
                 kind="read",
                 address=r.addr,
             )
@@ -134,7 +155,7 @@ class LeveledEmulator(Emulator):
             p = Packet(
                 pid,
                 (0, 0, w.pid),
-                int(self.hash(w.addr)),
+                int(modules[pid]),
                 kind="write",
                 address=w.addr,
                 payload=w.value,
@@ -143,41 +164,53 @@ class LeveledEmulator(Emulator):
             pid += 1
         return packets
 
-    def _route_requests(self, step: StepTrace):
-        """Route the step's requests; rehash + retry on timeout."""
+    def _route_requests(self, step: StepTrace, mode: str):
+        """Route the step's requests; rehash + retry on timeout.
+
+        Traces are only recorded on the reference engine — the fast reply
+        phase rebuilds reverse itineraries from the router's compiled
+        integer paths instead.
+        """
         L = self.net.num_levels
         # Allotment below the 2L path length guarantees timeouts; that is
         # intentional (tests force rehash storms this way).
         allotment = max(int(self.rehash_factor * 2 * L), 1)
         rehashes = 0
-        for attempt in range(self.max_rehashes + 1):
-            router = LeveledRouter(
+
+        # The fast engine only engages when trajectories are compilable
+        # (node mode, or coin mode on a uniform-degree network); when the
+        # router will fall back to the reference engine, traces must be
+        # recorded because the reply phase then has no integer paths.
+        fast_engages = mode == "fast" and (
+            self.intermediate == "node" or self.net.uniform_out_degree
+        )
+
+        def make_router():
+            return LeveledRouter(
                 self.net,
                 intermediate=self.intermediate,
                 seed=self.rng,
                 combine=(self.mode == "crcw"),
-                track_paths=True,
+                track_paths=not fast_engages,
+                engine=mode,
             )
+
+        for attempt in range(self.max_rehashes + 1):
+            router = make_router()
             packets = self._build_request_packets(step)
             stats = router.route_packets(packets, max_steps=allotment)
             if stats.completed:
-                return packets, stats, rehashes
+                return router, packets, stats, rehashes
             if attempt < self.max_rehashes:
                 self.rehash()
                 rehashes += 1
         # Last resort: generous budget so the emulation still terminates.
-        router = LeveledRouter(
-            self.net,
-            intermediate=self.intermediate,
-            seed=self.rng,
-            combine=(self.mode == "crcw"),
-            track_paths=True,
-        )
+        router = make_router()
         packets = self._build_request_packets(step)
         stats = router.route_packets(packets, max_steps=400 * L + 1000)
         if not stats.completed:
             raise RuntimeError("request routing failed even after rehashes")
-        return packets, stats, rehashes
+        return router, packets, stats, rehashes
 
     # ------------------------------------------------------------------
     def emulate_step(self, step: StepTrace) -> StepCost:
@@ -187,7 +220,8 @@ class LeveledEmulator(Emulator):
                 "use mode='crcw'"
             )
 
-        packets, req_stats, rehashes = self._route_requests(step)
+        mode = resolve_engine_mode(self.engine_mode)
+        router, packets, req_stats, rehashes = self._route_requests(step, mode)
         hosts = [p for p in packets if not p.combined]
 
         # Memory semantics: reads see pre-step state, then writes land.
@@ -209,16 +243,22 @@ class LeveledEmulator(Emulator):
         reply_steps = 0
         max_queue = req_stats.max_queue
         if read_hosts:
-            replies = build_replies(read_hosts, values)
-            spawner = ReplySpawner()
-            engine = SynchronousEngine()
             L = self.net.num_levels
-            reply_stats = engine.run(
-                replies,
-                reply_next_hop,
-                max_steps=int(self.rehash_factor * 4 * L) + 1000,
-                on_arrival=spawner,
-            )
+            budget = int(self.rehash_factor * 4 * L) + 1000
+            if mode == "fast" and router.last_fast_paths is not None:
+                reply_stats, spawner, replies = self._route_replies_fast(
+                    read_hosts, values, packets, router.last_fast_paths, budget
+                )
+            else:
+                replies = build_replies(read_hosts, values)
+                spawner = ReplySpawner()
+                engine = SynchronousEngine()
+                reply_stats = engine.run(
+                    replies,
+                    reply_next_hop,
+                    max_steps=budget,
+                    on_arrival=spawner,
+                )
             if not reply_stats.completed:
                 raise RuntimeError("reply routing did not complete")
             reply_steps = reply_stats.steps
@@ -234,6 +274,71 @@ class LeveledEmulator(Emulator):
             max_queue=max_queue,
             requests=step.num_requests,
         )
+
+    def _route_replies_fast(self, hosts, values, packets, int_paths, budget: int):
+        """Run the reply fan-out on the compiled fast engine.
+
+        A reply's itinerary is its request's compiled integer path in
+        reverse (up to the hop where the request stopped — delivery for
+        hosts, absorption for combined children), so no trace tuples are
+        encoded or decoded.  Child replies spawned at merge points enter
+        through the engine's ``on_arrival`` hook; children are bucketed by
+        merge node once per request, exactly mirroring
+        :class:`ReplySpawner`'s scan order.
+        """
+        compiled = compile_leveled(self.net)
+        index_of = {p.pid: i for i, p in enumerate(packets)}
+
+        def reply_path(request: Packet) -> list[int]:
+            return int_paths[index_of[request.pid]][request.hops :: -1]
+
+        def reply_factory(request: Packet, pid: int, payload) -> Packet:
+            # Trace-free analogue of combining.make_reply: the itinerary
+            # lives in the engine's integer paths, so state only needs to
+            # carry the originating request for the fan-out hook.
+            reply = Packet(
+                pid,
+                request.node,
+                request.source,
+                kind="reply",
+                address=request.address,
+                payload=payload,
+            )
+            reply.state = (None, 0, request)
+            return reply
+
+        replies = [
+            reply_factory(host, i, values.get(host.pid))
+            for i, host in enumerate(hosts)
+        ]
+
+        spawner = ReplySpawner(
+            reply_factory=reply_factory,
+            merge_key=lambda child: int_paths[index_of[child.pid]][child.hops],
+        )
+
+        def hook(_idx, reply, here_id, _t):
+            out = spawner.spawn_grouped(reply, here_id)
+            if not out:
+                return None
+            return [
+                (child_reply, reply_path(child_reply.state[2]))
+                for child_reply in out
+            ]
+
+        fast = FastPathEngine()
+        stats = fast.run(
+            replies,
+            [reply_path(r.state[2]) for r in replies],
+            num_nodes=compiled.num_node_ids,
+            max_steps=budget,
+            on_arrival=hook,
+            # Leaf replies (request absorbed nobody) can never spawn:
+            # skip the per-arrival hook for them entirely.
+            hook_filter=lambda reply: bool(reply.state[2].children),
+            node_key=compiled.reply_key,
+        )
+        return stats, spawner, replies
 
     def _check_replies(self, step, packets, spawner, root_replies) -> None:
         """Every read request must have produced a correctly-valued reply."""

@@ -53,15 +53,21 @@ class PolynomialHash:
         return acc % self.n_modules
 
     def map(self, xs: np.ndarray | Sequence[int]) -> np.ndarray:
-        """Vectorized h over an address array (Horner, mod at each step)."""
-        xs = np.asarray(xs)
+        """Vectorized h over an address array (Horner, mod at each step).
+
+        Exactly equal to ``[h(x) for x in xs]`` — the vectorized path
+        reduces mod P at every Horner step, so with P < 2**31 every
+        intermediate fits int64.  This is the one-call-per-step form the
+        emulation layer uses; evaluating addresses one at a time through
+        ``__call__`` costs an O(S) Python loop per address.
+        """
         if self._vec_coeffs is not None:
             vals = np.asarray(xs, dtype=np.int64) % self.p
             acc = np.zeros_like(vals)
             for a in self._vec_coeffs[::-1]:
                 acc = (acc * vals + a) % self.p
             return acc % self.n_modules
-        return np.array([self(int(x)) for x in xs], dtype=np.int64)
+        return np.array([self(int(x)) for x in np.asarray(xs)], dtype=np.int64)
 
     def description_bits(self) -> int:
         """Bits to broadcast this hash function: S * ceil(log2 P).
@@ -105,10 +111,10 @@ class HashFamily:
         self.p = next_prime(max(address_space, n_modules, 2))
 
     def sample(self, seed=None) -> PolynomialHash:
-        """Draw h uniformly from H."""
+        """Draw h uniformly from H (one batched draw for all S coefficients)."""
         rng = as_generator(seed)
-        coeffs = [int(rng.integers(self.p)) for _ in range(self.degree_param)]
-        return PolynomialHash(coeffs, self.p, self.n_modules)
+        coeffs = rng.integers(self.p, size=self.degree_param)
+        return PolynomialHash(coeffs.tolist(), self.p, self.n_modules)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

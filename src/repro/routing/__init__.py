@@ -10,6 +10,7 @@
 
 from repro.routing.batcher import bitonic_route, bitonic_stage_count
 from repro.routing.engine import RoutingTimeout, SynchronousEngine, route_with_function
+from repro.routing.fast_engine import FastPathEngine, resolve_engine_mode
 from repro.routing.greedy import GreedyRouter
 from repro.routing.leveled_router import LeveledRouter
 from repro.routing.linear import random_linear_instance, route_linear
@@ -32,6 +33,7 @@ from repro.routing.valiant import (
 
 __all__ = [
     "FIFOQueue",
+    "FastPathEngine",
     "FurthestFirstQueue",
     "GreedyMeshRouter",
     "GreedyRouter",
@@ -53,6 +55,7 @@ __all__ = [
     "furthest_first_factory",
     "make_packets",
     "random_linear_instance",
+    "resolve_engine_mode",
     "route_linear",
     "route_with_function",
     "transpose_permutation",

@@ -23,6 +23,26 @@ packet finds a queued packet with the same (kind, address, destination) it
 is absorbed — "any number of incoming packets, which have the same
 destination, from different links can be combined into one packet in one
 unit time" (footnote 3).
+
+Reference engine vs. fast path
+------------------------------
+This module is the **reference** engine: maximally general (arbitrary
+hashable node keys, dynamic ``next_hop`` policies, backpressure, service
+rates, ``on_arrival`` injection) and written for readability.  The
+routers for leveled / shuffle / star / butterfly networks also have a
+**fast path** (:mod:`repro.routing.fast_engine` over
+:mod:`repro.topology.compiled`) that precompiles every packet's
+trajectory to dense integer node ids and replays the very same queue
+dynamics on flat data structures.  The two are step-for-step equivalent
+under a fixed seed (see ``tests/test_fast_engine.py``); routers select
+the fast path automatically when their configuration allows it.  Force a
+specific engine with the routers' ``engine="reference"`` /
+``engine="fast"`` argument, or globally via the ``REPRO_ENGINE``
+environment variable (checked whenever a router is left on ``"auto"``).
+
+Transmission order is deterministic: active links transmit in the order
+they last became active (insertion order), never in hash order, so runs
+reproduce exactly across processes and interpreter builds.
 """
 
 from __future__ import annotations
@@ -99,7 +119,11 @@ class SynchronousEngine:
         """
         queues: dict[tuple[Hashable, Hashable], LinkQueue] = {}
         node_load: dict[Hashable, int] = defaultdict(int)
-        active: set[tuple[Hashable, Hashable]] = set()
+        # Insertion-ordered set (dict) of links with queued packets: the
+        # transmission phase iterates it, so using a plain set would make
+        # transmission order — and thus RNG consumption, combining, and
+        # service-rate tie-breaks — depend on hash order.
+        active: dict[tuple[Hashable, Hashable], None] = {}
 
         max_queue = 0
         max_node_load = 0
@@ -118,14 +142,16 @@ class SynchronousEngine:
             q = queues.get(key)
             if q is None:
                 q = queues[key] = self.queue_factory()
-            if self.combine and p.address is not None:
-                host = q.find_combinable((p.kind, p.address, p.dest))
-                if host is not None:
-                    host.absorb(p)
-                    combines += 1
-                    return
+            if self.combine:
+                ckey = p.combine_key
+                if ckey is not None:
+                    host = q.find_combinable(ckey)
+                    if host is not None:
+                        host.absorb(p)
+                        combines += 1
+                        return
             q.push(p)
-            active.add(key)
+            active[key] = None
             node_load[u] += 1
             if len(q) > max_queue:
                 max_queue = len(q)
@@ -194,6 +220,8 @@ class SynchronousEngine:
                     by_node[key[0]].append(key)
                 transmit_keys = []
                 for node, keys in by_node.items():
+                    # Stable sort + insertion-ordered `active`: ties go to
+                    # the link that became active first (deterministic).
                     keys.sort(key=lambda k: -len(queues[k]))
                     transmit_keys.extend(keys[: self.node_service_rate])
             for key in transmit_keys:
@@ -213,7 +241,7 @@ class SynchronousEngine:
                 if len(q) == 0:
                     newly_empty.append(key)
             for key in newly_empty:
-                active.discard(key)
+                active.pop(key, None)
 
             t += 1
             for p in arrivals:
@@ -253,6 +281,7 @@ def route_with_function(
     queue_factory: Callable[[], LinkQueue] = fifo_factory,
     combine: bool = False,
     node_capacity: int | None = None,
+    node_service_rate: int | None = None,
     track_paths: bool = False,
 ) -> RoutingStats:
     """One-shot convenience wrapper around :class:`SynchronousEngine`."""
@@ -260,6 +289,7 @@ def route_with_function(
         queue_factory=queue_factory,
         combine=combine,
         node_capacity=node_capacity,
+        node_service_rate=node_service_rate,
         track_paths=track_paths,
     )
     return engine.run(list(packets), next_hop, max_steps=max_steps)

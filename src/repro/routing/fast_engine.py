@@ -1,0 +1,370 @@
+"""Compiled fast path of the synchronous routing engine.
+
+:class:`FastPathEngine` replays the exact queue dynamics of
+:class:`repro.routing.engine.SynchronousEngine` — same one-packet-per-link
+steps, FIFO link queues, enqueue-time combining, injection times,
+timeouts, and insertion-ordered transmission — but over **precompiled
+integer trajectories** instead of hashable node keys and a per-hop
+``next_hop`` callback:
+
+* each packet i carries ``paths[i]``: the full list of integer node ids
+  it will visit (produced by, e.g.,
+  :meth:`repro.topology.compiled.CompiledLeveledTopology.build_paths`);
+* every directed link a packet will ever cross is interned up front to a
+  dense link index (one vectorized ``np.unique`` when all paths have
+  equal length), so the hot loop never hashes a node pair;
+* link FIFO queues are intrusive: head/tail/next arrays of packet
+  *indices* (a packet waits in at most one queue), so pushes and pops
+  are pure list arithmetic with no container allocation; CRCW combining
+  is O(1) per arrival via a per-link dict from combine key to the
+  resident host's index (mirroring the LinkQueue side index);
+* per-node load and per-link activity live in flat lists.
+
+Because routers pre-draw all randomness (coin matrices, intermediate
+nodes) *before* choosing an engine, the fast and reference engines
+consume identical random bits and produce identical
+:class:`~repro.routing.metrics.RoutingStats` under a fixed seed; the
+differential tests in ``tests/test_fast_engine.py`` assert this
+field-for-field on star, shuffle, and butterfly networks.
+
+Engine selection: routers take ``engine="auto" | "fast" | "reference"``;
+``"auto"`` resolves through :func:`resolve_engine_mode`, which honours
+the ``REPRO_ENGINE`` environment variable and otherwise picks the fast
+path.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.routing.engine import RoutingTimeout
+from repro.routing.metrics import RoutingStats, collect_stats
+from repro.routing.packet import Packet
+
+ENGINE_MODES = ("auto", "fast", "reference")
+
+#: environment override consulted by ``engine="auto"`` routers
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+def resolve_engine_mode(mode: str) -> str:
+    """Collapse an engine request to ``"fast"`` or ``"reference"``.
+
+    Explicit ``"fast"`` / ``"reference"`` win; ``"auto"`` defers to the
+    ``REPRO_ENGINE`` environment variable and finally defaults to the
+    fast path.  A set-but-unrecognized ``REPRO_ENGINE`` raises rather
+    than silently running an engine the user didn't ask for.
+    """
+    if mode not in ENGINE_MODES:
+        raise ValueError(f"unknown engine mode {mode!r}; pick one of {ENGINE_MODES}")
+    if mode != "auto":
+        return mode
+    env = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
+    if not env:
+        return "fast"
+    if env in ("fast", "reference"):
+        return env
+    raise ValueError(
+        f"unrecognized {ENGINE_ENV_VAR}={env!r}; use 'fast' or 'reference'"
+    )
+
+
+class FastPathEngine:
+    """Synchronous router over precompiled integer paths.
+
+    Parameters mirror the reference engine where applicable; the
+    capacity/service-rate variants are *not* supported here — routers
+    needing them stay on the reference engine.
+    """
+
+    def __init__(self, *, combine: bool = False, track_paths: bool = False) -> None:
+        self.combine = combine
+        self.track_paths = track_paths
+
+    def run(
+        self,
+        packets: Sequence[Packet],
+        paths: Sequence[Sequence[int]],
+        *,
+        num_nodes: int,
+        max_steps: int,
+        raise_on_timeout: bool = False,
+        on_arrival: Callable | None = None,
+        hook_filter: Callable[[Packet], bool] | None = None,
+        node_key: Callable[[int, int], object] | None = None,
+        trace_key: Callable[[int, int], object] | None = None,
+    ) -> RoutingStats:
+        """Route *packets* along *paths* until delivery or *max_steps*.
+
+        ``paths[i]`` is packet i's node-id itinerary including its start;
+        the packet is delivered on reaching the last entry.  ``num_nodes``
+        bounds the id space (used to intern links and size load tables).
+        ``on_arrival(index, packet, key, t)`` mirrors the reference
+        engine's hook: called at every node a packet reaches (``key`` is
+        the decoded position key) and may return ``[(packet, path), ...]``
+        to inject there immediately.  ``hook_filter(packet)``, evaluated
+        once when a packet is registered, exempts packets for which the
+        hook could never act (it must be a pure function of the packet —
+        a False means on_arrival is skipped for every node that packet
+        reaches).  ``node_key`` / ``trace_key`` decode
+        ``(position, node_id)`` into the hashable keys written back to
+        ``packet.node`` / ``packet.trace`` (identity when omitted).
+        """
+        combine = self.combine
+        all_packets: list[Packet] = list(packets)
+        path_list: list[list[int]] = [list(p) for p in paths]
+        if len(all_packets) != len(path_list):
+            raise ValueError("one path per packet required")
+        n = len(all_packets)
+        pos = [0] * n
+        last = [len(p) - 1 for p in path_list]
+        arrived: list[int | None] = [None] * n
+        combined_flag = [False] * n
+        children: list[list[int] | None] = [None] * n
+        ckeys: list[tuple | None] = (
+            [p.combine_key for p in all_packets] if combine else []
+        )
+        hooked: list[bool] = []
+        if on_arrival is not None:
+            hooked = (
+                [True] * n
+                if hook_filter is None
+                else [bool(hook_filter(p)) for p in all_packets]
+            )
+        node_load = [0] * num_nodes
+
+        # ---- intern every link each path crosses to a dense index ------
+        link_of: dict[int, int] = {}
+        link_src: list[int] = []
+        link_rows: list[list[int]] = []
+        lengths = {len(p) for p in path_list}
+        if len(lengths) == 1 and lengths != {0} and n:
+            # Rectangular trajectory matrix: one np.unique interns all
+            # links at C speed (the common case for leveled routes).
+            arr = np.asarray(path_list, dtype=np.int64)
+            if arr.shape[1] > 1:
+                codes = arr[:, :-1] * num_nodes + arr[:, 1:]
+                uniq, inverse = np.unique(codes, return_inverse=True)
+                link_src = (uniq // num_nodes).tolist()
+                link_rows = inverse.reshape(codes.shape).tolist()
+                if on_arrival is not None:
+                    # Spawned packets intern their links dynamically and
+                    # must share the dense id space.
+                    link_of = dict(zip(uniq.tolist(), range(uniq.size)))
+            else:
+                link_rows = [[] for _ in range(n)]
+        else:
+            for path in path_list:
+                link_rows.append(
+                    self._intern_path(path, link_of, link_src, num_nodes)
+                )
+
+        # Each link's FIFO queue is threaded through the packets
+        # themselves (a packet waits in at most one queue): q_head/q_tail
+        # hold packet indices, q_next links them.  No per-link containers
+        # to allocate, pushes and pops are pure list-index arithmetic.
+        n_links = len(link_src)
+        q_head = [-1] * n_links
+        q_tail = [-1] * n_links
+        q_len = [0] * n_links
+        q_next = [-1] * n
+        is_active = [False] * n_links
+        cindex: list[dict | None] = [None] * n_links
+        active: list[int] = []
+
+        max_queue = 0
+        max_node_load = 0
+        combines = 0
+        remaining = n
+
+        injections: dict[int, list[int]] = defaultdict(list)
+        for i, p in enumerate(all_packets):
+            injections[p.injected_at].append(i)
+        pending_times = sorted(injections, reverse=True)
+
+        def deliver(i: int, t: int) -> None:
+            nonlocal remaining
+            stack = [i]
+            while stack:
+                j = stack.pop()
+                if arrived[j] is None:
+                    arrived[j] = t
+                    remaining -= 1
+                ch = children[j]
+                if ch:
+                    stack.extend(ch)
+
+        def place(i: int, t: int) -> None:
+            nonlocal remaining, max_queue, max_node_load, combines
+            k = pos[i]
+            if on_arrival is not None and hooked[i]:
+                here = path_list[i][k]
+                key = trace_key(k, here) if trace_key is not None else here
+                spawned = on_arrival(i, all_packets[i], key, t)
+                if spawned:
+                    for q_pkt, q_path in spawned:
+                        q_path = list(q_path)
+                        if q_path[0] != here:
+                            raise ValueError(
+                                f"spawned packet {q_pkt.pid} starts at "
+                                f"{q_path[0]}, expected {here}"
+                            )
+                        q_pkt.injected_at = t
+                        all_packets.append(q_pkt)
+                        path_list.append(q_path)
+                        row = self._intern_path(
+                            q_path, link_of, link_src, num_nodes
+                        )
+                        link_rows.append(row)
+                        while len(q_head) < len(link_src):
+                            q_head.append(-1)
+                            q_tail.append(-1)
+                            q_len.append(0)
+                            is_active.append(False)
+                            cindex.append(None)
+                        q_next.append(-1)
+                        pos.append(0)
+                        last.append(len(q_path) - 1)
+                        arrived.append(None)
+                        combined_flag.append(False)
+                        children.append(None)
+                        if combine:
+                            ckeys.append(q_pkt.combine_key)
+                        hooked.append(
+                            True if hook_filter is None else bool(hook_filter(q_pkt))
+                        )
+                        remaining += 1
+                        place(len(all_packets) - 1, t)
+            if k == last[i]:
+                deliver(i, t)
+                return
+            li = link_rows[i][k]
+            if combine:
+                key = ckeys[i]
+                if key is not None:
+                    index = cindex[li]
+                    if index is None:
+                        index = cindex[li] = {}
+                    host = index.get(key)
+                    if host is not None:
+                        ch = children[host]
+                        if ch is None:
+                            ch = children[host] = []
+                        ch.append(i)
+                        combined_flag[i] = True
+                        combines += 1
+                        return
+                    index[key] = i
+            tail = q_tail[li]
+            if tail < 0:
+                q_head[li] = i
+            else:
+                q_next[tail] = i
+            q_tail[li] = i
+            q_next[i] = -1
+            length = q_len[li] + 1
+            q_len[li] = length
+            if not is_active[li]:
+                is_active[li] = True
+                active.append(li)
+            u = link_src[li]
+            load = node_load[u] + 1
+            node_load[u] = load
+            if length > max_queue:
+                max_queue = length
+            if load > max_node_load:
+                max_node_load = load
+
+        t = 0
+        while remaining > 0:
+            while pending_times and pending_times[-1] <= t:
+                for i in injections[pending_times.pop()]:
+                    place(i, t)
+            if remaining == 0:
+                break
+            if t >= max_steps:
+                break
+            if not active and not pending_times:
+                raise RuntimeError(
+                    f"{remaining} packets undeliverable: network drained at t={t}"
+                )
+
+            arrivals: list[int] = []
+            arrivals_append = arrivals.append
+            for li in active:
+                i = q_head[li]
+                nxt = q_next[i]
+                q_head[li] = nxt
+                length = q_len[li] - 1
+                q_len[li] = length
+                if combine:
+                    key = ckeys[i]
+                    if key is not None:
+                        index = cindex[li]
+                        if index.get(key) == i:
+                            del index[key]
+                node_load[link_src[li]] -= 1
+                pos[i] += 1
+                arrivals_append(i)
+                if length == 0:
+                    q_tail[li] = -1
+                    is_active[li] = False
+            active = [li for li in active if is_active[li]]
+
+            t += 1
+            for i in arrivals:
+                place(i, t)
+
+        completed = remaining == 0
+        track = self.track_paths
+        tkey = trace_key if trace_key is not None else node_key
+        for i, p in enumerate(all_packets):
+            k = pos[i]
+            path = path_list[i]
+            p.hops = k
+            p.arrived_at = arrived[i]
+            p.combined = combined_flag[i]
+            ch = children[i]
+            p.children = [all_packets[j] for j in ch] if ch else None
+            p.node = node_key(k, path[k]) if node_key is not None else path[k]
+            if track:
+                if tkey is not None:
+                    p.trace = [tkey(j, path[j]) for j in range(k + 1)]
+                else:
+                    p.trace = path[: k + 1]
+        stats = collect_stats(
+            all_packets,
+            steps=t,
+            max_queue=max_queue,
+            completed=completed,
+            combines=combines,
+            max_node_load=max_node_load,
+        )
+        if not completed and raise_on_timeout:
+            raise RoutingTimeout(stats)
+        return stats
+
+    @staticmethod
+    def _intern_path(
+        path: list[int],
+        link_of: dict[int, int],
+        link_src: list[int],
+        num_nodes: int,
+    ) -> list[int]:
+        """Dense link index per hop of *path*, growing the intern tables."""
+        row = []
+        append = row.append
+        prev = path[0]
+        for nxt in path[1:]:
+            code = prev * num_nodes + nxt
+            li = link_of.get(code)
+            if li is None:
+                li = link_of[code] = len(link_src)
+                link_src.append(prev)
+            append(li)
+            prev = nxt
+        return row

@@ -10,6 +10,13 @@ standard variants are both implemented:
 * ``intermediate="node"`` — Algorithms 2.2/2.3: pick a uniformly random
   intermediate *node* up front and follow the unique path to it.
 
+All randomness is drawn **before** routing begins: coin flips arrive as
+one batched ``(n_packets, L)`` RNG call (elementwise identical to the
+scalar draws, but orders of magnitude cheaper) and intermediates as one
+vector draw.  That also makes the run independent of the engine used, so
+the compiled fast path (:mod:`repro.routing.fast_engine`) — selected by
+default — reproduces the reference engine's results bit for bit.
+
 Networks whose last column is identified with the first (shuffle,
 wrapped butterfly, the star's logical network — all our families) let the
 packet re-enter column 0 for the second pass, so every packet traverses
@@ -25,15 +32,25 @@ from typing import Literal, Sequence
 import numpy as np
 
 from repro.routing.engine import SynchronousEngine
+from repro.routing.fast_engine import FastPathEngine, resolve_engine_mode
 from repro.routing.metrics import RoutingStats
 from repro.routing.packet import Packet, make_packets
 from repro.routing.queues import fifo_factory
+from repro.topology.compiled import compile_leveled
 from repro.topology.leveled import LeveledNetwork
 from repro.util.rng import as_generator
 
 
 class LeveledRouter:
-    """Two-phase randomized router for a :class:`LeveledNetwork`."""
+    """Two-phase randomized router for a :class:`LeveledNetwork`.
+
+    ``engine`` selects the simulator: ``"reference"`` is the readable
+    per-hop engine, ``"fast"`` the compiled integer path
+    (:class:`~repro.routing.fast_engine.FastPathEngine`); ``"auto"``
+    (default) resolves via the ``REPRO_ENGINE`` environment variable and
+    falls back to the fast path.  Both produce identical results under a
+    fixed seed.
+    """
 
     def __init__(
         self,
@@ -43,12 +60,22 @@ class LeveledRouter:
         seed=None,
         combine: bool = False,
         track_paths: bool = False,
+        engine: str = "auto",
     ) -> None:
         if intermediate not in ("coin", "node"):
             raise ValueError(f"unknown intermediate mode {intermediate!r}")
         self.net = net
         self.intermediate = intermediate
         self.rng = as_generator(seed)
+        self.combine = combine
+        self.track_paths = track_paths
+        self.engine_mode = engine
+        resolve_engine_mode(engine)  # validate eagerly
+        #: after a fast-path run: each packet's compiled node-id
+        #: itinerary, aligned with the routed packet list (None after a
+        #: reference run).  The emulation layer reuses these to build
+        #: reply itineraries without re-encoding traces.
+        self.last_fast_paths: list[list[int]] | None = None
         self.engine = SynchronousEngine(
             queue_factory=fifo_factory,
             combine=combine,
@@ -68,7 +95,10 @@ class LeveledRouter:
         if pass_idx == 0:
             if self.intermediate == "coin":
                 options = self.net.out_neighbors(col, row)
-                nxt = options[int(self.rng.integers(len(options)))]
+                if p.state is not None:
+                    nxt = options[p.state[col]]  # pre-drawn coin
+                else:
+                    nxt = options[int(self.rng.integers(len(options)))]
             else:
                 nxt = self.net.unique_next(col, row, p.state)
         else:
@@ -93,11 +123,54 @@ class LeveledRouter:
         L = self.net.num_levels
         if max_steps is None:
             max_steps = 40 * L + 100
+        coins = None
         if self.intermediate == "node":
             inters = self.rng.integers(self.net.column_size, size=len(packets))
             for p, r in zip(packets, inters):
                 p.state = int(r)
+        elif self.net.uniform_out_degree and packets:
+            # One batched draw replaces a scalar rng.integers per packet
+            # per level; elementwise the stream is identical, and both
+            # engines read the same matrix.
+            coins = self.rng.integers(self.net.degree, size=(len(packets), L))
+            for p, row in zip(packets, coins.tolist()):
+                p.state = row
+        mode = resolve_engine_mode(self.engine_mode)
+        self.last_fast_paths = None
+        if mode == "fast" and (self.intermediate == "node" or coins is not None):
+            return self._run_fast(packets, coins, max_steps)
         return self.engine.run(packets, self._next_hop, max_steps=max_steps)
+
+    def _run_fast(
+        self, packets: list[Packet], coins, max_steps: int
+    ) -> RoutingStats:
+        """Compile trajectories and replay them on the fast engine."""
+        compiled = compile_leveled(self.net)
+        sources = []
+        for p in packets:
+            pass_idx, col, row = p.node
+            if pass_idx != 0 or col != 0:
+                raise ValueError(
+                    f"packet {p.pid} must start in column 0, not {p.node}"
+                )
+            sources.append(row)
+        dests = [p.dest for p in packets]
+        if self.intermediate == "node":
+            paths = compiled.build_paths(
+                sources, dests, inters=[p.state for p in packets]
+            )
+        else:
+            paths = compiled.build_paths(sources, dests, coins=coins)
+        self.last_fast_paths = paths
+        fast = FastPathEngine(combine=self.combine, track_paths=self.track_paths)
+        return fast.run(
+            packets,
+            paths,
+            num_nodes=compiled.num_node_ids,
+            max_steps=max_steps,
+            node_key=compiled.node_key,
+            trace_key=compiled.trace_key,
+        )
 
     def route(
         self,

@@ -64,6 +64,18 @@ class Packet:
         self.combined = False  # True once absorbed into a host packet
 
     # ---- combining (Theorem 2.6) ---------------------------------------
+    @property
+    def combine_key(self) -> tuple | None:
+        """Key under which this packet may merge with others, or None.
+
+        Packets carrying no ``address`` never combine (a data packet has
+        nothing to deduplicate); packets agree on a key exactly when they
+        request the same (kind, address, destination) triple.
+        """
+        if self.address is None:
+            return None
+        return (self.kind, self.address, self.dest)
+
     def absorb(self, other: "Packet") -> None:
         """Merge *other* into this packet (concurrent access combining).
 

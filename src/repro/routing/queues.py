@@ -8,13 +8,22 @@ The paper's algorithms use two arbitration rules:
   algorithm (packets with farther stage targets preempt closer ones).
 
 Both expose the same tiny interface so the engine is discipline-agnostic.
+
+Combining lookups (``find_combinable``) are O(1): a queue keeps a side
+index from :attr:`Packet.combine_key` to the resident packets with that
+key.  The paper's footnote-3 model performs a merge "in one unit time",
+so the simulator should too — the previous linear scan made hotspot
+(CRCW) runs quadratic in the queue length.  The index is built lazily on
+the first ``find_combinable`` call and maintained on push/pop from then
+on, so non-combining runs (which never ask) pay nothing.  Packets
+without an ``address`` have no combine key and are not indexed.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.routing.packet import Packet
 
@@ -35,23 +44,59 @@ class LinkQueue:
         raise NotImplementedError
 
     def find_combinable(self, key) -> Optional[Packet]:
-        """A queued packet whose combine key equals *key* (else None)."""
+        """The earliest-queued packet whose combine key equals *key*.
+
+        Returns None when no resident packet carries that key.  Packets
+        whose ``address`` is None have no combine key and never match.
+        """
         raise NotImplementedError
+
+
+def _index_build(packets: Iterable[Packet]) -> dict:
+    index: dict[tuple, list[Packet]] = {}
+    for packet in packets:
+        key = packet.combine_key
+        if key is not None:
+            index.setdefault(key, []).append(packet)
+    return index
+
+
+def _index_add(index: dict, packet: Packet) -> None:
+    key = packet.combine_key
+    if key is not None:
+        index.setdefault(key, []).append(packet)
+
+
+def _index_remove(index: dict, packet: Packet) -> None:
+    key = packet.combine_key
+    if key is None:
+        return
+    bucket = index.get(key)
+    if bucket:
+        bucket.remove(packet)
+        if not bucket:
+            del index[key]
 
 
 class FIFOQueue(LinkQueue):
     """Plain first-in first-out queue."""
 
-    __slots__ = ("_q",)
+    __slots__ = ("_q", "_index")
 
     def __init__(self) -> None:
         self._q: deque[Packet] = deque()
+        self._index: dict | None = None
 
     def push(self, packet: Packet) -> None:
         self._q.append(packet)
+        if self._index is not None:
+            _index_add(self._index, packet)
 
     def pop(self) -> Packet:
-        return self._q.popleft()
+        packet = self._q.popleft()
+        if self._index is not None:
+            _index_remove(self._index, packet)
+        return packet
 
     def peek(self) -> Packet:
         return self._q[0]
@@ -60,10 +105,10 @@ class FIFOQueue(LinkQueue):
         return len(self._q)
 
     def find_combinable(self, key) -> Optional[Packet]:
-        for p in self._q:
-            if (p.kind, p.address, p.dest) == key:
-                return p
-        return None
+        if self._index is None:
+            self._index = _index_build(self._q)
+        bucket = self._index.get(key)
+        return bucket[0] if bucket else None
 
 
 class FurthestFirstQueue(LinkQueue):
@@ -75,19 +120,25 @@ class FurthestFirstQueue(LinkQueue):
     static property of its destination.
     """
 
-    __slots__ = ("_heap", "_counter", "_priority")
+    __slots__ = ("_heap", "_counter", "_priority", "_index")
 
     def __init__(self, priority: Callable[[Packet], float]) -> None:
         self._heap: list[tuple[float, int, Packet]] = []
         self._counter = 0
         self._priority = priority
+        self._index: dict | None = None
 
     def push(self, packet: Packet) -> None:
         heapq.heappush(self._heap, (-self._priority(packet), self._counter, packet))
         self._counter += 1
+        if self._index is not None:
+            _index_add(self._index, packet)
 
     def pop(self) -> Packet:
-        return heapq.heappop(self._heap)[2]
+        packet = heapq.heappop(self._heap)[2]
+        if self._index is not None:
+            _index_remove(self._index, packet)
+        return packet
 
     def peek(self) -> Packet:
         return self._heap[0][2]
@@ -96,10 +147,10 @@ class FurthestFirstQueue(LinkQueue):
         return len(self._heap)
 
     def find_combinable(self, key) -> Optional[Packet]:
-        for _, _, p in self._heap:
-            if (p.kind, p.address, p.dest) == key:
-                return p
-        return None
+        if self._index is None:
+            self._index = _index_build(entry[2] for entry in self._heap)
+        bucket = self._index.get(key)
+        return bucket[0] if bucket else None
 
 
 def fifo_factory() -> FIFOQueue:

@@ -13,6 +13,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.routing.engine import SynchronousEngine
+from repro.routing.fast_engine import FastPathEngine, resolve_engine_mode
 from repro.routing.metrics import RoutingStats
 from repro.routing.packet import Packet, make_packets
 from repro.routing.queues import fifo_factory
@@ -21,14 +22,28 @@ from repro.util.rng import as_generator
 
 
 class ShuffleRouter:
-    """Two-phase unique-path router on the physical d-way shuffle."""
+    """Two-phase unique-path router on the physical d-way shuffle.
+
+    Intermediates are pre-drawn, so a packet's whole 2n-hop itinerary is
+    known up front; with ``engine="auto"``/``"fast"`` the itineraries are
+    compiled by digit arithmetic (one vectorized pass per hop index) and
+    replayed on :class:`~repro.routing.fast_engine.FastPathEngine`,
+    reproducing the reference engine's results exactly.
+    """
 
     def __init__(
-        self, shuffle: DWayShuffle, *, seed=None, randomized: bool = True
+        self,
+        shuffle: DWayShuffle,
+        *,
+        seed=None,
+        randomized: bool = True,
+        engine: str = "auto",
     ) -> None:
         self.shuffle = shuffle
         self.randomized = randomized
         self.rng = as_generator(seed)
+        self.engine_mode = engine
+        resolve_engine_mode(engine)  # validate eagerly
         self.engine = SynchronousEngine(queue_factory=fifo_factory)
 
     def _next_hop(self, p: Packet):
@@ -57,6 +72,7 @@ class ShuffleRouter:
         if max_steps is None:
             max_steps = 60 * self.shuffle.n + 200
         packets = make_packets(list(map(int, sources)), list(map(int, dests)))
+        inters = None
         if self.randomized:
             inters = self.rng.integers(self.shuffle.num_nodes, size=len(packets))
             for p, r in zip(packets, inters):
@@ -66,7 +82,33 @@ class ShuffleRouter:
             # to the destination (no Valiant phase 1).
             for p in packets:
                 p.state = (1, 0, None)
+        if resolve_engine_mode(self.engine_mode) == "fast":
+            return self._run_fast(packets, inters, max_steps)
         return self.engine.run(packets, self._next_hop, max_steps=max_steps)
+
+    def _run_fast(self, packets, inters, max_steps: int) -> RoutingStats:
+        """Compile every packet's digit-insertion itinerary; replay fast.
+
+        Hop k of a unique-path phase inserts the target's k-th least
+        significant digit at the front, so the whole trajectory matrix
+        falls out of n (or 2n) vectorized shift-and-insert operations.
+        """
+        sh = self.shuffle
+        d, msb = sh.d, sh.num_nodes // sh.d
+        cur = np.fromiter((p.node for p in packets), dtype=np.int64, count=len(packets))
+        columns = [cur]
+        for target in ([inters] if inters is not None else []) + [
+            np.fromiter((p.dest for p in packets), dtype=np.int64, count=len(packets))
+        ]:
+            target = np.asarray(target, dtype=np.int64)
+            for k in range(sh.n):
+                cur = cur // d + ((target // d**k) % d) * msb
+                columns.append(cur)
+        paths = np.stack(columns, axis=1).tolist()
+        fast = FastPathEngine()
+        return fast.run(
+            packets, paths, num_nodes=sh.num_nodes, max_steps=max_steps
+        )
 
     def route_permutation(
         self, perm: Sequence[int] | np.ndarray, *, max_steps: int | None = None

@@ -18,6 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.routing.engine import SynchronousEngine
+from repro.routing.fast_engine import FastPathEngine, resolve_engine_mode
 from repro.routing.metrics import RoutingStats
 from repro.routing.packet import Packet, make_packets
 from repro.routing.queues import fifo_factory
@@ -26,12 +27,28 @@ from repro.util.rng import as_generator
 
 
 class StarRouter:
-    """Two-phase randomized router on the physical n-star graph."""
+    """Two-phase randomized router on the physical n-star graph.
 
-    def __init__(self, star: StarGraph, *, seed=None, randomized: bool = True) -> None:
+    Intermediates are pre-drawn and the greedy cycle algorithm is
+    deterministic, so each packet's itinerary is known before routing;
+    with ``engine="auto"``/``"fast"`` the itineraries are precompiled and
+    replayed on :class:`~repro.routing.fast_engine.FastPathEngine`,
+    reproducing the reference engine's results exactly.
+    """
+
+    def __init__(
+        self,
+        star: StarGraph,
+        *,
+        seed=None,
+        randomized: bool = True,
+        engine: str = "auto",
+    ) -> None:
         self.star = star
         self.randomized = randomized
         self.rng = as_generator(seed)
+        self.engine_mode = engine
+        resolve_engine_mode(engine)  # validate eagerly
         self.engine = SynchronousEngine(queue_factory=fifo_factory)
 
     def _next_hop(self, p: Packet):
@@ -59,7 +76,30 @@ class StarRouter:
             inters = self.rng.integers(self.star.num_nodes, size=len(packets))
             for p, r in zip(packets, inters):
                 p.state = int(r)
+        if resolve_engine_mode(self.engine_mode) == "fast":
+            return self._run_fast(packets, max_steps)
         return self.engine.run(packets, self._next_hop, max_steps=max_steps)
+
+    def _run_fast(self, packets, max_steps: int) -> RoutingStats:
+        """Precompute greedy itineraries (via intermediates); replay fast."""
+        route_next = self.star.route_next
+        paths = []
+        for p in packets:
+            cur = p.node
+            path = [cur]
+            inter = p.state
+            if inter is not None:
+                while cur != inter:
+                    cur = route_next(cur, inter)
+                    path.append(cur)
+            while cur != p.dest:
+                cur = route_next(cur, p.dest)
+                path.append(cur)
+            paths.append(path)
+        fast = FastPathEngine()
+        return fast.run(
+            packets, paths, num_nodes=self.star.num_nodes, max_steps=max_steps
+        )
 
     def route_permutation(
         self, perm: Sequence[int] | np.ndarray, *, max_steps: int | None = None

@@ -17,9 +17,11 @@ from repro.topology.leveled import (
     ShuffleLeveled,
     StarLogicalLeveled,
 )
+from repro.topology.compiled import CompiledLeveledTopology, compile_leveled
 
 __all__ = [
     "Butterfly",
+    "CompiledLeveledTopology",
     "DAryButterflyLeveled",
     "DWayShuffle",
     "Hypercube",
@@ -30,4 +32,5 @@ __all__ = [
     "StarGraph",
     "StarLogicalLeveled",
     "Topology",
+    "compile_leveled",
 ]

@@ -1,0 +1,151 @@
+"""Integer-compiled leveled topologies: the data layer of the fast path.
+
+The reference engine addresses a leveled network's nodes with
+``(pass, column, row)`` tuples and discovers each hop by calling
+``out_neighbors`` / ``unique_next`` per packet per step.  At interesting
+scales (N >= 4096 rows) that tuple hashing and per-hop topology math
+dominates the run time.  This module compiles a :class:`LeveledNetwork`
+once into dense integer form:
+
+* every engine position gets a flat **node id** — position k on a
+  packet's 2L-hop journey lies in "unrolled column" k (the two passes of
+  Algorithm 2.1 laid end to end, with the last column of pass 1
+  identified with the first column of pass 2, exactly the paper's
+  wrap-around), so ``id = k * N + row`` with k in [0, 2L];
+* per-level **out-neighbor tables** (``(N, d)`` arrays) replace
+  ``out_neighbors`` calls, so a pre-drawn coin becomes one array gather;
+* :meth:`build_paths` rolls a whole packet population's trajectories
+  forward level by level with ``unique_next_batch`` — the entire routing
+  plan for N packets is produced by ~2L vectorized operations.
+
+The plan is then replayed by :class:`repro.routing.fast_engine.FastPathEngine`,
+which never touches the topology again.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.topology.leveled import LeveledNetwork
+
+
+class CompiledLeveledTopology:
+    """Dense integer view of a :class:`LeveledNetwork` (both passes)."""
+
+    def __init__(self, net: LeveledNetwork) -> None:
+        # Note: nets with uniform_out_degree=False compile fine for
+        # node-mode routing (unique-path arithmetic only); out_table —
+        # needed by coin mode — raises for them via out_neighbor_table.
+        self.net = net
+        self.L = net.num_levels
+        self.N = net.column_size
+        #: one unrolled column per path position 0..2L
+        self.num_node_ids = (2 * self.L + 1) * self.N
+        self._out_tables: dict[int, np.ndarray] = {}
+
+    # ---- id <-> key ----------------------------------------------------
+    def out_table(self, level: int) -> np.ndarray:
+        table = self._out_tables.get(level)
+        if table is None:
+            table = self._out_tables[level] = self.net.out_neighbor_table(level)
+        return table
+
+    def encode_key(self, key: tuple[int, int, int]) -> int:
+        """(pass, column, row) -> node id.
+
+        The wrap identification makes this well defined: ``(0, L, r)``
+        and ``(1, 0, r)`` are the same physical node and map to the same
+        id ``L * N + r``.
+        """
+        pass_idx, col, row = key
+        return (pass_idx * self.L + col) * self.N + row
+
+    def node_key(self, position: int, node_id: int) -> tuple[int, int, int]:
+        """Node-style key at a path *position*: what ``packet.node`` holds.
+
+        The reference engine rewrites the wrap node to its pass-2 alias
+        before enqueueing, so position L decodes to ``(1, 0, row)``.
+        """
+        row = node_id - position * self.N
+        if position < self.L:
+            return (0, position, row)
+        return (1, position - self.L, row)
+
+    def trace_key(self, position: int, node_id: int) -> tuple[int, int, int]:
+        """Trace-style key: what ``packet.trace`` records at *position*.
+
+        Traces capture the node key *before* the wrap rewrite, so
+        position L decodes to ``(0, L, row)``.
+        """
+        row = node_id - position * self.N
+        if position <= self.L:
+            return (0, position, row)
+        return (1, position - self.L, row)
+
+    def reply_key(self, _position: int, node_id: int) -> tuple[int, int, int]:
+        """Position-independent decode for reply-phase paths.
+
+        Reply paths walk traces in reverse, so positions no longer track
+        columns.  Trace keys never contain ``(1, 0, row)`` (the wrap is
+        recorded as ``(0, L, row)``), which makes the decode unambiguous.
+        """
+        col_idx, row = divmod(node_id, self.N)
+        if col_idx <= self.L:
+            return (0, col_idx, row)
+        return (1, col_idx - self.L, row)
+
+    # ---- trajectory compilation ----------------------------------------
+    def build_paths(
+        self,
+        source_rows: Sequence[int],
+        dests: Sequence[int],
+        *,
+        coins: np.ndarray | None = None,
+        inters: Sequence[int] | None = None,
+    ) -> list[list[int]]:
+        """Compile every packet's full 2L-hop node-id trajectory.
+
+        Phase 1 either follows pre-drawn *coins* (an ``(n, L)`` array of
+        bridge choices, Algorithm 2.1) or the unique path to a chosen
+        intermediate row per packet (*inters*, Algorithms 2.2/2.3);
+        phase 2 always follows the unique path to ``dests``.
+        """
+        if (coins is None) == (inters is None):
+            raise ValueError("need exactly one of coins= or inters=")
+        L, N = self.L, self.N
+        rows = np.asarray(source_rows, dtype=np.int64)
+        n = len(rows)
+        cols = np.empty((n, 2 * L + 1), dtype=np.int64)
+        cols[:, 0] = rows
+        if coins is not None:
+            for level in range(L):
+                rows = self.out_table(level)[rows, coins[:, level]]
+                cols[:, level + 1] = rows
+        else:
+            inters_arr = np.asarray(inters, dtype=np.int64)
+            for level in range(L):
+                rows = self.net.unique_next_batch(level, rows, inters_arr)
+                cols[:, level + 1] = rows
+        dests_arr = np.asarray(dests, dtype=np.int64)
+        for level in range(L):
+            rows = self.net.unique_next_batch(level, rows, dests_arr)
+            cols[:, L + 1 + level] = rows
+        if not np.array_equal(rows, dests_arr):
+            bad = int(np.nonzero(rows != dests_arr)[0][0])
+            raise RuntimeError(
+                f"packet {bad} finished pass 2 at row {int(rows[bad])} "
+                f"!= dest {int(dests_arr[bad])}"
+            )
+        ids = cols + (np.arange(2 * L + 1, dtype=np.int64) * N)[None, :]
+        return ids.tolist()
+
+
+def compile_leveled(net: LeveledNetwork) -> CompiledLeveledTopology:
+    """Compiled view of *net*, cached on the network instance."""
+    compiled = getattr(net, "_compiled_topology", None)
+    if compiled is None:
+        compiled = CompiledLeveledTopology(net)
+        net._compiled_topology = compiled
+    return compiled

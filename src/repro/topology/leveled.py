@@ -29,6 +29,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Sequence
 
+import numpy as np
+
 from repro.topology.shuffle import DWayShuffle
 from repro.topology.star import StarGraph, perm_rank, perm_unrank, swap_j
 
@@ -42,6 +44,11 @@ class LeveledNetwork(ABC):
     #: graph-theoretically unique (butterfly, shuffle); False when
     #: ``unique_next`` merely selects a canonical path (star logical net).
     has_unique_paths: bool = True
+    #: True when every node at every level has exactly ``degree``
+    #: out-links (all built-in families).  Routers then pre-draw the
+    #: phase-1 coin flips of Algorithm 2.1 in one batched RNG call, and
+    #: the compiled fast path can build dense out-neighbor tables.
+    uniform_out_degree: bool = True
 
     @property
     @abstractmethod
@@ -65,6 +72,50 @@ class LeveledNetwork(ABC):
     @abstractmethod
     def unique_next(self, level: int, node: int, dest: int) -> int:
         """Next hop on the (canonical) unique path toward last-column *dest*."""
+
+    # ---- batched forms (compiled fast path) -----------------------------
+    def out_neighbor_table(self, level: int) -> np.ndarray:
+        """Dense ``(N, degree)`` array: row r lists out_neighbors(level, r).
+
+        Column order matches :meth:`out_neighbors` so a pre-drawn coin c
+        selects the same bridge as ``out_neighbors(level, r)[c]``.
+        Subclasses override with closed-form vectorized constructions;
+        this generic fallback loops once per row.
+        """
+        self.validate_level(level)
+        if not self.uniform_out_degree:
+            raise ValueError(
+                f"{type(self).__name__} has non-uniform out-degree; "
+                "no dense out-neighbor table exists"
+            )
+        table = np.empty((self.column_size, self.degree), dtype=np.int64)
+        for row in range(self.column_size):
+            table[row] = self.out_neighbors(level, row)
+        return table
+
+    def unique_next_batch(
+        self, level: int, rows: np.ndarray, dests: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`unique_next` over parallel row/dest arrays.
+
+        The generic fallback memoizes on (row, dest) — with hotspot
+        traffic many packets share a destination, so repeated canonical
+        next-hop computations collapse to one.  Families with arithmetic
+        unique paths (butterfly, shuffle) override with closed forms.
+        """
+        self.validate_level(level)
+        rows_l = np.asarray(rows, dtype=np.int64).tolist()
+        dests_l = np.asarray(dests, dtype=np.int64).tolist()
+        out = np.empty(len(rows_l), dtype=np.int64)
+        memo: dict[tuple[int, int], int] = {}
+        unique_next = self.unique_next
+        for i, (r, dd) in enumerate(zip(rows_l, dests_l)):
+            key = (r, dd)
+            nxt = memo.get(key)
+            if nxt is None:
+                nxt = memo[key] = unique_next(level, r, dd)
+            out[i] = nxt
+        return out
 
     # ---- derived --------------------------------------------------------
     @property
@@ -156,6 +207,23 @@ class DAryButterflyLeveled(LeveledNetwork):
         rest = node - (node % (base * self.d)) + low
         return rest + dest_digit * base
 
+    def out_neighbor_table(self, level: int) -> np.ndarray:
+        self.validate_level(level)
+        base = self._digit_base(level)
+        x = np.arange(self._n, dtype=np.int64)
+        rest = x - x % (base * self.d) + x % base
+        return rest[:, None] + np.arange(self.d, dtype=np.int64)[None, :] * base
+
+    def unique_next_batch(
+        self, level: int, rows: np.ndarray, dests: np.ndarray
+    ) -> np.ndarray:
+        self.validate_level(level)
+        base = self._digit_base(level)
+        rows = np.asarray(rows, dtype=np.int64)
+        dest_digit = (np.asarray(dests, dtype=np.int64) // base) % self.d
+        rest = rows - rows % (base * self.d) + rows % base
+        return rest + dest_digit * base
+
 
 class ShuffleLeveled(LeveledNetwork):
     """Logical leveled view of the d-way shuffle (Figure 4).
@@ -196,6 +264,25 @@ class ShuffleLeveled(LeveledNetwork):
         self.validate_level(level)
         return self.shuffle.unique_path_next(node, dest, level)
 
+    def out_neighbor_table(self, level: int) -> np.ndarray:
+        self.validate_level(level)
+        sh = self.shuffle
+        shifted = np.arange(sh.num_nodes, dtype=np.int64) // sh.d
+        return (
+            shifted[:, None]
+            + np.arange(sh.d, dtype=np.int64)[None, :] * (sh.num_nodes // sh.d)
+        )
+
+    def unique_next_batch(
+        self, level: int, rows: np.ndarray, dests: np.ndarray
+    ) -> np.ndarray:
+        self.validate_level(level)
+        sh = self.shuffle
+        digit = (np.asarray(dests, dtype=np.int64) // sh.d**level) % sh.d
+        return np.asarray(rows, dtype=np.int64) // sh.d + digit * (
+            sh.num_nodes // sh.d
+        )
+
 
 class StarLogicalLeveled(LeveledNetwork):
     """Logical leveled network of the n-star graph (Figure 3).
@@ -220,6 +307,7 @@ class StarLogicalLeveled(LeveledNetwork):
     def __init__(self, n: int) -> None:
         self.star = StarGraph(n)
         self.n = n
+        self._nbr_table: np.ndarray | None = None
 
     @property
     def num_levels(self) -> int:
@@ -236,6 +324,18 @@ class StarLogicalLeveled(LeveledNetwork):
     def out_neighbors(self, level: int, node: int) -> list[int]:
         self.validate_level(level)
         return [node] + self.star.neighbors(node)
+
+    def out_neighbor_table(self, level: int) -> np.ndarray:
+        # The star's logical links are the same at every stage, so one
+        # table (self link + n-1 swaps per node) serves all levels.
+        self.validate_level(level)
+        if self._nbr_table is None:
+            table = np.empty((self.column_size, self.n), dtype=np.int64)
+            for node in range(self.column_size):
+                table[node, 0] = node
+                table[node, 1:] = self.star.neighbors(node)
+            self._nbr_table = table
+        return self._nbr_table
 
     def unique_next(self, level: int, node: int, dest: int) -> int:
         self.validate_level(level)

@@ -1,0 +1,364 @@
+"""Differential tests: the compiled fast path vs. the reference engine.
+
+The fast engine's contract is *exact* equivalence: under a fixed seed it
+must produce the same RoutingStats — steps, delivered, max_queue,
+combines, max_node_load, and the per-packet delay/hop lists — as the
+readable reference engine, on every supported network family and router
+configuration.  These tests pin that contract on star, shuffle, and
+butterfly networks (logical leveled views and physical routers), for
+both phase-1 flavors, with and without CRCW combining, and through the
+full emulation pipeline including reply fan-out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.emulation.leveled import LeveledEmulator
+from repro.pram.trace import h_relation_step, hotspot_step, permutation_step
+from repro.routing import (
+    FastPathEngine,
+    LeveledRouter,
+    ShuffleRouter,
+    StarRouter,
+    resolve_engine_mode,
+)
+from repro.routing.fast_engine import ENGINE_ENV_VAR
+from repro.routing.packet import make_packets
+from repro.topology import (
+    DAryButterflyLeveled,
+    DWayShuffle,
+    ShuffleLeveled,
+    StarGraph,
+    StarLogicalLeveled,
+    compile_leveled,
+)
+
+STAT_FIELDS = (
+    "steps",
+    "delivered",
+    "total_packets",
+    "max_queue",
+    "completed",
+    "combines",
+    "max_node_load",
+)
+
+
+def assert_stats_equal(fast, ref):
+    for field in STAT_FIELDS:
+        assert getattr(fast, field) == getattr(ref, field), field
+    assert fast.delays == ref.delays
+    assert fast.hops == ref.hops
+
+
+def leveled_nets():
+    return [
+        DAryButterflyLeveled(2, 6),
+        DAryButterflyLeveled(3, 4),
+        ShuffleLeveled(3, 4),
+        StarLogicalLeveled(5),
+    ]
+
+
+class TestLeveledDifferential:
+    @pytest.mark.parametrize("net", leveled_nets(), ids=lambda n: repr(n))
+    @pytest.mark.parametrize("intermediate", ["coin", "node"])
+    def test_permutation_matches(self, net, intermediate):
+        perm = np.random.default_rng(7).permutation(net.column_size)
+        fast = LeveledRouter(
+            net, intermediate=intermediate, seed=42, engine="fast"
+        ).route_permutation(perm)
+        ref = LeveledRouter(
+            net, intermediate=intermediate, seed=42, engine="reference"
+        ).route_permutation(perm)
+        assert fast.completed
+        assert_stats_equal(fast, ref)
+
+    @pytest.mark.parametrize("net", leveled_nets(), ids=lambda n: repr(n))
+    def test_crcw_combining_matches(self, net):
+        """Hotspot traffic with combining: counts and queues must agree."""
+        n = net.column_size
+        rng = np.random.default_rng(5)
+        sources = np.arange(n)
+        addresses = rng.integers(8, size=n)  # few addresses -> heavy combining
+        dests = addresses % n
+        kwargs = dict(combine=True, track_paths=True, seed=9)
+        fast = LeveledRouter(net, engine="fast", **kwargs).route(
+            sources, dests, addresses=addresses
+        )
+        ref = LeveledRouter(net, engine="reference", **kwargs).route(
+            sources, dests, addresses=addresses
+        )
+        assert fast.combines > 0
+        assert_stats_equal(fast, ref)
+
+    @pytest.mark.parametrize("net", leveled_nets(), ids=lambda n: repr(n))
+    def test_traces_match(self, net):
+        """track_paths: every packet's recorded trace must be identical."""
+        n = net.column_size
+        perm = np.random.default_rng(3).permutation(n)
+        pf = make_packets([(0, 0, int(s)) for s in range(n)], perm.tolist())
+        pr = make_packets([(0, 0, int(s)) for s in range(n)], perm.tolist())
+        LeveledRouter(net, seed=1, track_paths=True, engine="fast").route_packets(pf)
+        LeveledRouter(net, seed=1, track_paths=True, engine="reference").route_packets(pr)
+        for a, b in zip(pf, pr):
+            assert a.trace == b.trace
+            assert a.node == b.node
+
+    def test_timeout_matches(self):
+        net = DAryButterflyLeveled(2, 6)
+        perm = np.random.default_rng(11).permutation(net.column_size)
+        budget = 2 * net.num_levels + 1  # too tight: some packets miss it
+        fast = LeveledRouter(net, seed=2, engine="fast").route_permutation(
+            perm, max_steps=budget
+        )
+        ref = LeveledRouter(net, seed=2, engine="reference").route_permutation(
+            perm, max_steps=budget
+        )
+        assert not fast.completed
+        assert_stats_equal(fast, ref)
+
+    def test_restarts_match(self):
+        net = DAryButterflyLeveled(2, 6)
+        perm = np.random.default_rng(4).permutation(net.column_size)
+        args = (np.arange(net.column_size), perm)
+        sf, rf = LeveledRouter(net, seed=3, engine="fast").route_with_restarts(
+            *args, allotment=2 * net.num_levels + 1
+        )
+        sr, rr = LeveledRouter(net, seed=3, engine="reference").route_with_restarts(
+            *args, allotment=2 * net.num_levels + 1
+        )
+        assert rf == rr
+        assert sf.steps == sr.steps
+        assert sorted(sf.hops) == sorted(sr.hops)
+
+
+class TestPhysicalRouterDifferential:
+    def test_star_permutation_matches(self):
+        star = StarGraph(5)
+        perm = np.random.default_rng(1).permutation(star.num_nodes)
+        fast = StarRouter(star, seed=8, engine="fast").route_permutation(perm)
+        ref = StarRouter(star, seed=8, engine="reference").route_permutation(perm)
+        assert fast.completed
+        assert_stats_equal(fast, ref)
+
+    def test_star_nonrandomized_matches(self):
+        star = StarGraph(4)
+        perm = np.random.default_rng(2).permutation(star.num_nodes)
+        fast = StarRouter(star, randomized=False, engine="fast").route_permutation(perm)
+        ref = StarRouter(star, randomized=False, engine="reference").route_permutation(
+            perm
+        )
+        assert_stats_equal(fast, ref)
+
+    def test_shuffle_permutation_matches(self):
+        sh = DWayShuffle(3, 4)
+        perm = np.random.default_rng(3).permutation(sh.num_nodes)
+        fast = ShuffleRouter(sh, seed=6, engine="fast").route_permutation(perm)
+        ref = ShuffleRouter(sh, seed=6, engine="reference").route_permutation(perm)
+        assert fast.completed
+        assert_stats_equal(fast, ref)
+
+    def test_shuffle_n_relation_matches(self):
+        sh = DWayShuffle(3, 3)
+        fast = ShuffleRouter(sh, seed=13, engine="fast").route_n_relation(h=3)
+        ref = ShuffleRouter(sh, seed=13, engine="reference").route_n_relation(h=3)
+        assert_stats_equal(fast, ref)
+
+    def test_delayed_injection_matches(self):
+        from repro.routing import SynchronousEngine
+
+        paths = [[0, 1, 2], [1, 2, 3]]
+
+        def mk():
+            pkts = make_packets([0, 1], [2, 3])
+            pkts[1].injected_at = 3
+            return pkts
+
+        pf = mk()
+        sf = FastPathEngine().run(pf, paths, num_nodes=4, max_steps=20)
+        pr = mk()
+        walkers = {p.pid: iter(path[1:]) for p, path in zip(pr, paths)}
+        sr = SynchronousEngine().run(
+            pr, lambda p: next(walkers[p.pid], None), max_steps=20
+        )
+        assert_stats_equal(sf, sr)
+        assert pf[1].arrived_at == pr[1].arrived_at == 5
+
+
+class TestEmulatorDifferential:
+    @pytest.mark.parametrize(
+        "net", [DAryButterflyLeveled(2, 5), StarLogicalLeveled(4)], ids=lambda n: repr(n)
+    )
+    def test_step_costs_match(self, net):
+        n = net.column_size
+        space = 128
+        steps = [
+            hotspot_step(n, space, seed=1),
+            permutation_step(n, space, seed=2),
+            h_relation_step(n, space, 2, seed=3),
+            permutation_step(n, space, seed=4, kind="write"),
+        ]
+
+        def run(engine):
+            em = LeveledEmulator(net, space, mode="crcw", seed=21, engine=engine)
+            costs = []
+            for s in steps:
+                c = em.emulate_step(s)
+                costs.append(
+                    (c.request_steps, c.reply_steps, c.rehashes, c.combines, c.max_queue)
+                )
+            mem = [em.memory.read(a) for a in range(space)]
+            return costs, mem
+
+        fast_costs, fast_mem = run("fast")
+        ref_costs, ref_mem = run("reference")
+        assert fast_costs == ref_costs
+        assert fast_mem == ref_mem
+
+    def test_nonuniform_degree_falls_back_to_reference(self):
+        """A net that cannot pre-draw coins must still emulate correctly
+        in fast mode: the router silently falls back to the reference
+        engine, so the reply phase needs traces recorded."""
+
+        class OddButterfly(DAryButterflyLeveled):
+            uniform_out_degree = False
+
+        net = OddButterfly(2, 4)
+        step = hotspot_step(net.column_size, 64, seed=6)
+        fast = LeveledEmulator(net, 64, mode="crcw", seed=17, engine="fast")
+        cost_fast = fast.emulate_step(step)
+        ref = LeveledEmulator(net, 64, mode="crcw", seed=17, engine="reference")
+        cost_ref = ref.emulate_step(step)
+        assert (cost_fast.request_steps, cost_fast.reply_steps) == (
+            cost_ref.request_steps,
+            cost_ref.reply_steps,
+        )
+
+    def test_nonuniform_degree_node_mode_uses_fast_path(self):
+        """Node-mode trajectories need no out-neighbor tables, so the
+        fast path must work even on non-uniform-degree networks."""
+
+        class OddButterfly(DAryButterflyLeveled):
+            uniform_out_degree = False
+
+        net = OddButterfly(2, 5)
+        perm = np.random.default_rng(8).permutation(net.column_size)
+        fast = LeveledRouter(
+            net, intermediate="node", seed=12, engine="fast"
+        ).route_permutation(perm)
+        ref = LeveledRouter(
+            net, intermediate="node", seed=12, engine="reference"
+        ).route_permutation(perm)
+        assert fast.completed
+        assert_stats_equal(fast, ref)
+
+        step = hotspot_step(net.column_size, 64, seed=6)
+        costs = []
+        for engine in ("fast", "reference"):
+            em = LeveledEmulator(
+                net, 64, mode="crcw", intermediate="node", seed=19, engine=engine
+            )
+            c = em.emulate_step(step)
+            costs.append((c.request_steps, c.reply_steps, c.combines))
+        assert costs[0] == costs[1]
+
+    def test_rehash_storm_matches(self):
+        """Impossibly tight allotments force rehashes on both engines."""
+        net = DAryButterflyLeveled(2, 4)
+        step = hotspot_step(net.column_size, 64, seed=5)
+
+        def run(engine):
+            em = LeveledEmulator(
+                net, 64, mode="crcw", seed=33, rehash_factor=0.4, engine=engine
+            )
+            cost = em.emulate_step(step)
+            return cost.rehashes, cost.request_steps, em.rehash_count
+
+        assert run("fast") == run("reference")
+
+
+class TestEngineSelection:
+    def test_env_var_override(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "reference")
+        assert resolve_engine_mode("auto") == "reference"
+        monkeypatch.setenv(ENGINE_ENV_VAR, "fast")
+        assert resolve_engine_mode("auto") == "fast"
+        monkeypatch.delenv(ENGINE_ENV_VAR)
+        assert resolve_engine_mode("auto") == "fast"
+
+    def test_typoed_env_var_raises(self, monkeypatch):
+        # A typo must not silently run the engine under suspicion.
+        monkeypatch.setenv(ENGINE_ENV_VAR, "refernce")
+        with pytest.raises(ValueError, match="REPRO_ENGINE"):
+            resolve_engine_mode("auto")
+        monkeypatch.setenv(ENGINE_ENV_VAR, "")
+        assert resolve_engine_mode("auto") == "fast"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "reference")
+        assert resolve_engine_mode("fast") == "fast"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_engine_mode("warp")
+        with pytest.raises(ValueError):
+            LeveledRouter(DAryButterflyLeveled(2, 2), engine="warp")
+
+
+class TestFastPathEngineUnit:
+    def test_shared_link_serializes(self):
+        # Two packets crossing the same link: second waits one step.
+        pkts = make_packets([0, 0], [2, 2])
+        stats = FastPathEngine().run(
+            pkts, [[0, 1, 2], [0, 1, 2]], num_nodes=3, max_steps=10
+        )
+        assert stats.completed
+        assert stats.steps == 3
+        assert sorted(p.delay for p in pkts) == [0, 1]
+
+    def test_combining_on_shared_queue(self):
+        pkts = make_packets([0, 0, 0], [2, 2, 2], addresses=[7, 7, 7])
+        stats = FastPathEngine(combine=True).run(
+            pkts, [[0, 1, 2]] * 3, num_nodes=3, max_steps=10
+        )
+        assert stats.completed
+        assert stats.combines == 2
+        assert stats.steps == 2  # combined flow behaves as one packet
+
+    def test_mismatched_paths_rejected(self):
+        pkts = make_packets([0], [1])
+        with pytest.raises(ValueError):
+            FastPathEngine().run(pkts, [], num_nodes=2, max_steps=5)
+
+    def test_single_packet_delivers(self):
+        pkts = make_packets([0], [1])
+        stats = FastPathEngine().run(pkts, [[0, 1]], num_nodes=2, max_steps=5)
+        assert stats.completed
+        assert stats.steps == 1
+        assert pkts[0].hops == 1
+
+    def test_timeout_raises_when_asked(self):
+        from repro.routing import RoutingTimeout
+
+        pkts = make_packets([0, 0], [2, 2])
+        with pytest.raises(RoutingTimeout):
+            FastPathEngine().run(
+                pkts,
+                [[0, 1, 2], [0, 1, 2]],
+                num_nodes=3,
+                max_steps=2,
+                raise_on_timeout=True,
+            )
+
+    def test_node_ids_roundtrip(self):
+        net = DAryButterflyLeveled(2, 3)
+        compiled = compile_leveled(net)
+        L, N = net.num_levels, net.column_size
+        # trace-style keys: wrap position decodes to (0, L, row)
+        assert compiled.trace_key(L, L * N + 3) == (0, L, 3)
+        # node-style keys: wrap position decodes to its pass-2 alias
+        assert compiled.node_key(L, L * N + 3) == (1, 0, 3)
+        assert compiled.encode_key((0, L, 3)) == compiled.encode_key((1, 0, 3))
+        for key in [(0, 0, 1), (0, L, 5), (1, L, 2)]:
+            assert compiled.reply_key(0, compiled.encode_key(key)) == key

@@ -92,6 +92,36 @@ class TestQueues:
         assert q.find_combinable(("read", 42, 9)) is a
         assert q.find_combinable(("read", 43, 9)) is None
 
+    def test_find_combinable_tracks_pops(self):
+        # The O(1) side index must forget popped packets.
+        q = FIFOQueue()
+        a = Packet(0, 0, 9, kind="read", address=42)
+        b = Packet(1, 1, 9, kind="read", address=42)
+        q.push(a)
+        q.push(b)
+        assert q.find_combinable(("read", 42, 9)) is a  # earliest first
+        assert q.pop() is a
+        assert q.find_combinable(("read", 42, 9)) is b
+        q.pop()
+        assert q.find_combinable(("read", 42, 9)) is None
+
+    def test_find_combinable_ignores_addressless(self):
+        q = FIFOQueue()
+        q.push(Packet(0, 0, 9))  # no address -> no combine key
+        assert q.find_combinable(("data", None, 9)) is None
+
+    def test_furthest_first_find_combinable(self):
+        q = FurthestFirstQueue(priority=lambda p: abs(p.dest - p.node))
+        near = Packet(0, 0, 1, kind="read", address=5)
+        far = Packet(1, 0, 9, kind="read", address=5)
+        q.push(near)
+        q.push(far)
+        assert q.find_combinable(("read", 5, 9)) is far
+        assert q.find_combinable(("read", 5, 1)) is near
+        assert q.pop() is far  # priority pop, not FIFO
+        assert q.find_combinable(("read", 5, 9)) is None
+        assert q.find_combinable(("read", 5, 1)) is near
+
 
 class TestEngineBasics:
     def test_single_packet_travels_distance(self):
@@ -204,6 +234,18 @@ class TestEngineCombining:
         stats = engine.run(pkts, line_next_hop(array), max_steps=50)
         assert stats.combines == 0
 
+    def test_combining_inside_priority_queues(self):
+        # Combining must also work under furthest-destination-first
+        # arbitration (the §3.4 discipline), not just FIFO.
+        array = LinearArray(8)
+        factory = furthest_first_factory(lambda p: abs(p.dest - p.node))
+        pkts = make_packets([0, 0, 0, 0], [7, 7, 5, 7], addresses=[3, 3, 4, 3])
+        engine = SynchronousEngine(queue_factory=factory, combine=True)
+        stats = engine.run(pkts, line_next_hop(array), max_steps=100)
+        assert stats.completed
+        assert stats.combines == 2  # the three address-3 readers merge
+        assert all(p.delivered for p in pkts)
+
 
 class TestEngineCapacity:
     def test_node_capacity_limits_load(self):
@@ -237,6 +279,41 @@ class TestEngineCapacity:
         )
         assert par.steps == 2  # both leave simultaneously
         assert ser.steps == 3  # serialized: one waits a step
+
+    def test_route_with_function_forwards_service_rate(self):
+        # The convenience wrapper used to drop node_service_rate silently.
+        array = LinearArray(5)
+
+        def next_hop(p):
+            if p.node == p.dest:
+                return None
+            return array.route_next(p.node, p.dest)
+
+        ser = route_with_function(
+            make_packets([2, 2], [0, 4]),
+            next_hop,
+            max_steps=50,
+            node_service_rate=1,
+        )
+        assert ser.steps == 3  # serialized, matching the engine directly
+
+    def test_service_rate_ties_break_by_activation_order(self):
+        # Node 0 drives two equal-length queues; with rate 1 the link
+        # that became active first must win the tie, deterministically.
+        pkts = make_packets([0, 0], [1, 2])
+        order = []
+
+        def next_hop(p):
+            if p.node == 0:
+                return p.dest
+            order.append(p.dest)
+            return None
+
+        stats = route_with_function(
+            pkts, next_hop, max_steps=50, node_service_rate=1
+        )
+        assert stats.completed
+        assert order == [1, 2]  # packet to 1 enqueued (activated) first
 
 
 class TestPathTracking:
