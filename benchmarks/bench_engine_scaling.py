@@ -1,11 +1,12 @@
 """Engine-scaling benchmark: seed (reference) engine vs. compiled fast path.
 
 Times the two routing engines on the workloads the paper's headline
-claims need at scale — leveled permutation routing (Theorem 2.1) and
-CRCW hotspot emulation with combining (Theorem 2.6) — at N >= 512
-processors, asserts the runs are result-identical, and writes
-``BENCH_engine.json`` so future PRs can track the performance
-trajectory.
+claims need at scale — leveled permutation routing (Theorem 2.1), CRCW
+hotspot emulation with combining (Theorem 2.6), 3-stage mesh permutation
+routing (Theorem 3.1), and mesh EREW/CRCW PRAM emulation (Theorems
+3.2/2.6) — at N >= 512 processors, asserts the runs are
+result-identical, and writes ``BENCH_engine.json`` so future PRs can
+track the performance trajectory.
 
 The "seed" column runs ``engine="reference"``: the readable per-hop
 engine the repository started with (today's reference engine is itself
@@ -30,9 +31,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.emulation.leveled import LeveledEmulator
-from repro.pram.trace import hotspot_step
+from repro.emulation.mesh import MeshEmulator
+from repro.pram.trace import hotspot_step, permutation_step
 from repro.routing.leveled_router import LeveledRouter
+from repro.routing.mesh_router import MeshRouter
 from repro.topology.leveled import DAryButterflyLeveled
+from repro.topology.mesh import Mesh2D
 
 
 def _best_of(fn, repeats: int) -> tuple[float, object]:
@@ -112,10 +116,86 @@ def bench_crcw_hotspot(d: int, levels: int, *, seed: int, repeats: int) -> dict:
     }
 
 
+def bench_mesh_permutation(n_side: int, *, seed: int, repeats: int) -> dict:
+    """3-stage randomized mesh permutation routing (§3.4), both engines."""
+    mesh = Mesh2D.square(n_side)
+    perm = np.random.default_rng(seed).permutation(mesh.num_nodes)
+
+    def run(engine):
+        return MeshRouter(mesh, seed=seed, engine=engine).route_permutation(perm)
+
+    t_seed, s_seed = _best_of(lambda: run("reference"), repeats)
+    t_fast, s_fast = _best_of(lambda: run("fast"), repeats)
+    assert s_seed.steps == s_fast.steps, "engines diverged"
+    assert s_seed.max_queue == s_fast.max_queue, "engines diverged"
+    assert s_seed.delays == s_fast.delays, "engines diverged"
+    return {
+        "scenario": "mesh-permutation",
+        "network": f"mesh({n_side}x{n_side})",
+        "n": mesh.num_nodes,
+        "packets": mesh.num_nodes,
+        "steps": s_fast.steps,
+        "seed_time_s": round(t_seed, 6),
+        "fast_time_s": round(t_fast, 6),
+        "speedup": round(t_seed / t_fast, 2),
+    }
+
+
+def bench_mesh_emulation(n_side: int, mode: str, *, seed: int, repeats: int) -> dict:
+    """Mesh PRAM emulation (Theorem 3.2), EREW or CRCW, both engines."""
+    mesh = Mesh2D.square(n_side)
+    n = mesh.num_nodes
+    space = 4 * n
+    if mode == "erew":
+        steps = [
+            permutation_step(n, space, seed=seed),
+            permutation_step(n, space, seed=seed + 1, kind="write"),
+        ]
+    else:
+        steps = [
+            hotspot_step(
+                n, space, hot_addresses=4, hot_fraction=0.5, seed=seed + i
+            )
+            for i in range(2)
+        ]
+
+    def run(engine):
+        em = MeshEmulator(mesh, space, mode=mode, seed=seed, engine=engine)
+        return [em.emulate_step(s) for s in steps]
+
+    t_seed, c_seed = _best_of(lambda: run("reference"), repeats)
+    t_fast, c_fast = _best_of(lambda: run("fast"), repeats)
+    for a, b in zip(c_seed, c_fast):
+        assert (a.request_steps, a.reply_steps, a.combines, a.max_queue) == (
+            b.request_steps,
+            b.reply_steps,
+            b.combines,
+            b.max_queue,
+        ), "engines diverged"
+    return {
+        "scenario": f"mesh-{mode}-emulation",
+        "network": f"mesh({n_side}x{n_side})",
+        "n": n,
+        "packets": sum(s.num_requests for s in steps),
+        "pram_steps": len(steps),
+        "combines": sum(c.combines for c in c_fast),
+        "request_steps": sum(c.request_steps for c in c_fast),
+        "reply_steps": sum(c.reply_steps for c in c_fast),
+        "seed_time_s": round(t_seed, 6),
+        "fast_time_s": round(t_fast, 6),
+        "speedup": round(t_seed / t_fast, 2),
+    }
+
+
 def run_suite(quick: bool) -> list[dict]:
     repeats = 2 if quick else 3
     perm_settings = [(2, 9)] if quick else [(2, 9), (2, 11), (2, 12), (4, 5)]
     emu_settings = [(2, 9)] if quick else [(2, 9), (2, 10), (2, 11)]
+    # Mesh rows start at n=64 (N=4096): the paper-scale target size for
+    # the mesh stack; below it the batch engine's per-step vector
+    # overhead doesn't amortize and the honest speedup dips under 3x.
+    mesh_perm_sides = [64] if quick else [64, 96]
+    mesh_emu_sides = [64]
     rows = []
     for d, levels in perm_settings:
         rows.append(bench_permutation(d, levels, seed=1, repeats=repeats))
@@ -123,6 +203,13 @@ def run_suite(quick: bool) -> list[dict]:
     for d, levels in emu_settings:
         rows.append(bench_crcw_hotspot(d, levels, seed=2, repeats=repeats))
         print(_render(rows[-1]))
+    for n_side in mesh_perm_sides:
+        rows.append(bench_mesh_permutation(n_side, seed=3, repeats=repeats))
+        print(_render(rows[-1]))
+    for n_side in mesh_emu_sides:
+        for mode in ("erew", "crcw"):
+            rows.append(bench_mesh_emulation(n_side, mode, seed=4, repeats=repeats))
+            print(_render(rows[-1]))
     return rows
 
 

@@ -19,8 +19,11 @@ Requests routed with ``track_paths=True`` have everything needed.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Callable, Hashable
 
+import numpy as np
+
+from repro.routing.fast_engine import FastPathEngine
 from repro.routing.packet import Packet
 
 
@@ -157,3 +160,118 @@ def build_replies(hosts: list[Packet], values: dict[int, object], pid_base: int 
     for i, host in enumerate(hosts):
         replies.append(make_reply(host, pid_base + i, values.get(host.pid)))
     return replies
+
+
+class _SpawnTally:
+    """Duck-typed stand-in for :class:`ReplySpawner` bookkeeping."""
+
+    def __init__(self, spawned: int) -> None:
+        self.spawned = spawned
+
+
+def route_replies_fast(
+    hosts: list[Packet],
+    values: dict[int, object],
+    packets: list[Packet],
+    int_paths,
+    *,
+    budget: int,
+    num_nodes: int,
+    node_key: Callable[[int, int], object] | None = None,
+):
+    """Run the reply fan-out on the compiled fast engine.
+
+    Shared by the leveled and mesh emulators.  A reply's itinerary is
+    its request's compiled integer path in reverse (up to the hop where
+    the request stopped — delivery for hosts, absorption for combined
+    children), so no trace keys are encoded or decoded.
+
+    The whole combining forest is materialized up front: every absorbed
+    request's reply, its padded reverse itinerary, and the *spawn plan*
+    — a child reply activates when its parent reply first reaches the
+    child's absorption node, which is a static property of the compiled
+    paths (the first occurrence of the merge node on the parent's
+    reverse path, exactly where :class:`ReplySpawner` would fire).  That
+    keeps the entire reply phase on the engine's vectorized batch mode;
+    replies whose trigger never fires (parent timed out) are excluded
+    from the stats just as if they had never been spawned.
+
+    ``int_paths`` is aligned with *packets* (the routed request
+    population, combined children included); padded rows are fine
+    because only the prefix up to ``packet.hops`` is read.
+
+    Returns ``(stats, spawn_tally, root_replies)``.
+    """
+    index_of = {p.pid: i for i, p in enumerate(packets)}
+    int_arr = np.asarray(int_paths, dtype=np.int64)
+
+    def reply_factory(request: Packet, pid: int, payload) -> Packet:
+        # Trace-free analogue of make_reply: the itinerary lives in the
+        # engine's integer paths; state keeps the originating request.
+        reply = Packet(
+            pid,
+            request.node,
+            request.source,
+            kind="reply",
+            address=request.address,
+            payload=payload,
+        )
+        reply.state = (None, 0, request)
+        return reply
+
+    # Breadth-first over the combining forest: roots in host order, then
+    # every absorbed child's reply (children of one request stay in
+    # absorption order, ReplySpawner's bucket order).
+    all_replies: list[Packet] = []
+    req_of: list[Packet] = []
+    parent_reply: list[int] = []
+    for i, host in enumerate(hosts):
+        all_replies.append(reply_factory(host, i, values.get(host.pid)))
+        req_of.append(host)
+        parent_reply.append(-1)
+    next_pid = 10_000_000
+    qidx = 0
+    while qidx < len(all_replies):
+        for child in req_of[qidx].children or ():
+            next_pid += 1
+            all_replies.append(
+                reply_factory(child, next_pid, all_replies[qidx].payload)
+            )
+            req_of.append(child)
+            parent_reply.append(qidx)
+        qidx += 1
+    roots = all_replies[: len(hosts)]
+    m = len(all_replies)
+
+    rows = np.fromiter((index_of[r.pid] for r in req_of), dtype=np.int64, count=m)
+    hops = np.fromiter((r.hops for r in req_of), dtype=np.int64, count=m)
+    width = int(hops.max()) + 1
+    rev = np.clip(hops[:, None] - np.arange(width), 0, None)
+    reply_mat = int_arr[rows[:, None], rev]
+
+    spawn_plan: list[tuple[int, int, list[int]]] = []
+    if m > len(hosts):
+        child_idx = np.arange(len(hosts), m)
+        par = np.asarray(parent_reply[len(hosts) :], dtype=np.int64)
+        merge_nodes = int_arr[rows[child_idx], hops[child_idx]]
+        hit = reply_mat[par] == merge_nodes[:, None]
+        hit &= np.arange(width)[None, :] <= hops[par][:, None]
+        if not hit.any(axis=1).all():
+            raise RuntimeError("merge node missing from a parent reply path")
+        qpos = hit.argmax(axis=1)
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for c, pr, q in zip(child_idx.tolist(), par.tolist(), qpos.tolist()):
+            buckets.setdefault((pr, q), []).append(c)
+        spawn_plan = [(pr, q, kids) for (pr, q), kids in buckets.items()]
+
+    fast = FastPathEngine()
+    stats = fast.run(
+        all_replies,
+        reply_mat,
+        num_nodes=num_nodes,
+        max_steps=budget,
+        path_lengths=hops,
+        spawn_plan=spawn_plan or None,
+        node_key=node_key,
+    )
+    return stats, _SpawnTally(stats.total_packets - len(hosts)), roots

@@ -26,13 +26,18 @@ from typing import Literal
 import numpy as np
 
 from repro.emulation.base import Emulator, StepCost
-from repro.emulation.combining import ReplySpawner, build_replies, reply_next_hop
+from repro.emulation.combining import (
+    ReplySpawner,
+    build_replies,
+    reply_next_hop,
+    route_replies_fast,
+)
 from repro.hashing.family import HashFamily, degree_for_diameter
 from repro.pram.memory import SharedMemory
 from repro.pram.trace import StepTrace
 from repro.pram.variants import WritePolicy, resolve_writes
 from repro.routing.engine import SynchronousEngine
-from repro.routing.fast_engine import FastPathEngine, resolve_engine_mode
+from repro.routing.fast_engine import resolve_engine_mode
 from repro.routing.leveled_router import LeveledRouter
 from repro.routing.packet import Packet
 from repro.topology.compiled import compile_leveled
@@ -276,69 +281,17 @@ class LeveledEmulator(Emulator):
         )
 
     def _route_replies_fast(self, hosts, values, packets, int_paths, budget: int):
-        """Run the reply fan-out on the compiled fast engine.
-
-        A reply's itinerary is its request's compiled integer path in
-        reverse (up to the hop where the request stopped — delivery for
-        hosts, absorption for combined children), so no trace tuples are
-        encoded or decoded.  Child replies spawned at merge points enter
-        through the engine's ``on_arrival`` hook; children are bucketed by
-        merge node once per request, exactly mirroring
-        :class:`ReplySpawner`'s scan order.
-        """
+        """Reply fan-out on the compiled fast engine (shared helper)."""
         compiled = compile_leveled(self.net)
-        index_of = {p.pid: i for i, p in enumerate(packets)}
-
-        def reply_path(request: Packet) -> list[int]:
-            return int_paths[index_of[request.pid]][request.hops :: -1]
-
-        def reply_factory(request: Packet, pid: int, payload) -> Packet:
-            # Trace-free analogue of combining.make_reply: the itinerary
-            # lives in the engine's integer paths, so state only needs to
-            # carry the originating request for the fan-out hook.
-            reply = Packet(
-                pid,
-                request.node,
-                request.source,
-                kind="reply",
-                address=request.address,
-                payload=payload,
-            )
-            reply.state = (None, 0, request)
-            return reply
-
-        replies = [
-            reply_factory(host, i, values.get(host.pid))
-            for i, host in enumerate(hosts)
-        ]
-
-        spawner = ReplySpawner(
-            reply_factory=reply_factory,
-            merge_key=lambda child: int_paths[index_of[child.pid]][child.hops],
-        )
-
-        def hook(_idx, reply, here_id, _t):
-            out = spawner.spawn_grouped(reply, here_id)
-            if not out:
-                return None
-            return [
-                (child_reply, reply_path(child_reply.state[2]))
-                for child_reply in out
-            ]
-
-        fast = FastPathEngine()
-        stats = fast.run(
-            replies,
-            [reply_path(r.state[2]) for r in replies],
+        return route_replies_fast(
+            hosts,
+            values,
+            packets,
+            int_paths,
+            budget=budget,
             num_nodes=compiled.num_node_ids,
-            max_steps=budget,
-            on_arrival=hook,
-            # Leaf replies (request absorbed nobody) can never spawn:
-            # skip the per-arrival hook for them entirely.
-            hook_filter=lambda reply: bool(reply.state[2].children),
             node_key=compiled.reply_key,
         )
-        return stats, spawner, replies
 
     def _check_replies(self, step, packets, spawner, root_replies) -> None:
         """Every read request must have produced a correctly-valued reply."""

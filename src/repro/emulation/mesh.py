@@ -16,6 +16,11 @@ finishes in 6δ + o(δ) steps.  Hashed placement would destroy locality, so
 the locality mode switches placement to direct, exactly as the paper's
 statement presumes requests "originate within a distance d of the
 location of the memory".
+
+``engine="auto" | "fast" | "reference"`` selects the routing simulator
+for every phase — requests, EREW reply re-routing, and CRCW reverse-path
+reply fan-out (rebuilt from the router's compiled integer trajectories
+on the fast path) — with identical step costs under a fixed seed.
 """
 
 from __future__ import annotations
@@ -23,13 +28,21 @@ from __future__ import annotations
 import math
 from typing import Literal
 
+import numpy as np
+
 from repro.emulation.base import Emulator, StepCost
-from repro.emulation.combining import ReplySpawner, build_replies, reply_next_hop
+from repro.emulation.combining import (
+    ReplySpawner,
+    build_replies,
+    reply_next_hop,
+    route_replies_fast,
+)
 from repro.hashing.family import HashFamily, degree_for_diameter
 from repro.pram.memory import SharedMemory
 from repro.pram.trace import StepTrace
 from repro.pram.variants import WritePolicy, resolve_writes
 from repro.routing.engine import SynchronousEngine
+from repro.routing.fast_engine import resolve_engine_mode
 from repro.routing.mesh_router import MeshRouter
 from repro.routing.packet import Packet
 from repro.topology.mesh import Mesh2D
@@ -60,6 +73,7 @@ class MeshEmulator(Emulator):
         node_capacity: int | None = None,
         seed=None,
         validate: bool = True,
+        engine: str = "auto",
     ) -> None:
         if mode not in ("erew", "crcw"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -67,6 +81,8 @@ class MeshEmulator(Emulator):
             raise ValueError(f"unknown placement {placement!r}")
         self.mesh = mesh
         self.mode = mode
+        self.engine_mode = engine
+        resolve_engine_mode(engine)  # validate eagerly
         self.write_policy = write_policy
         self.combine_op = combine_op
         self.placement = placement
@@ -104,18 +120,34 @@ class MeshEmulator(Emulator):
         self.hash = self.family.sample(self.rng)
         self.rehash_count += 1
 
-    def _make_router(self) -> MeshRouter:
+    def _make_router(self, engine_mode: str) -> MeshRouter:
+        # Traces are only recorded on the reference engine — the fast
+        # CRCW reply phase rebuilds reverse itineraries from the router's
+        # compiled integer paths instead.
         return MeshRouter(
             self.mesh,
             seed=self.rng,
             slice_rows=self.slice_rows,
             node_capacity=self.node_capacity,
-            track_paths=(self.mode == "crcw"),
+            track_paths=(self.mode == "crcw" and engine_mode == "reference"),
             combine=(self.mode == "crcw"),
+            engine=engine_mode,
         )
 
     # ------------------------------------------------------------------
     def _build_request_packets(self, step: StepTrace) -> list[Packet]:
+        # One vectorized hash evaluation covers the whole step: the
+        # scalar PolynomialHash.__call__ is O(S) per address, so hashing
+        # per request used to cost O(requests * S) Python-level Horner
+        # loops per attempt.
+        addrs = [r.addr for r in step.reads]
+        addrs += [w.addr for w in step.writes]
+        if not addrs:
+            return []
+        if self.placement == "direct":
+            modules = addrs
+        else:
+            modules = self.hash.map(np.asarray(addrs, dtype=np.int64)).tolist()
         packets: list[Packet] = []
         pid = 0
         n = self.mesh.num_nodes
@@ -123,7 +155,9 @@ class MeshEmulator(Emulator):
             if r.pid >= n:
                 raise ValueError(f"processor {r.pid} exceeds mesh size {n}")
             packets.append(
-                Packet(pid, r.pid, self.module_of(r.addr), kind="read", address=r.addr)
+                Packet(
+                    pid, r.pid, int(modules[pid]), kind="read", address=r.addr
+                )
             )
             pid += 1
         for w in step.writes:
@@ -133,7 +167,7 @@ class MeshEmulator(Emulator):
                 Packet(
                     pid,
                     w.pid,
-                    self.module_of(w.addr),
+                    int(modules[pid]),
                     kind="write",
                     address=w.addr,
                     payload=w.value,
@@ -142,26 +176,26 @@ class MeshEmulator(Emulator):
             pid += 1
         return packets
 
-    def _route_requests(self, step: StepTrace):
+    def _route_requests(self, step: StepTrace, engine_mode: str):
         n = self.mesh.rows + self.mesh.cols
         allotment = max(int(self.rehash_factor * n), n + 4)
         rehashes = 0
         for _attempt in range(self.max_rehashes + 1):
-            router = self._make_router()
+            router = self._make_router(engine_mode)
             packets = self._build_request_packets(step)
             stats = router.route(None, None, max_steps=allotment, packets=packets)
             if stats.completed:
-                return packets, stats, rehashes
+                return router, packets, stats, rehashes
             if self.placement == "direct":
                 break  # rehashing cannot help direct placement
             self.rehash()
             rehashes += 1
-        router = self._make_router()
+        router = self._make_router(engine_mode)
         packets = self._build_request_packets(step)
         stats = router.route(None, None, max_steps=500 * n + 2000, packets=packets)
         if not stats.completed:
             raise RuntimeError("mesh request routing failed after rehashes")
-        return packets, stats, rehashes
+        return router, packets, stats, rehashes
 
     # ------------------------------------------------------------------
     def emulate_step(self, step: StepTrace) -> StepCost:
@@ -170,7 +204,8 @@ class MeshEmulator(Emulator):
                 "EREW mesh emulator given concurrent accesses; use mode='crcw'"
             )
 
-        packets, req_stats, rehashes = self._route_requests(step)
+        engine_mode = resolve_engine_mode(self.engine_mode)
+        router, packets, req_stats, rehashes = self._route_requests(step, engine_mode)
         hosts = [p for p in packets if not p.combined]
         read_hosts = [p for p in hosts if p.kind == "read"]
         values = {p.pid: self.memory.read(p.address) for p in read_hosts}
@@ -190,9 +225,31 @@ class MeshEmulator(Emulator):
         max_queue = req_stats.max_queue
         if read_hosts:
             if self.mode == "crcw":
-                reply_stats = self._replies_reverse_path(read_hosts, values)
+                # Both engines intentionally run the CRCW reverse-path
+                # fan-out *unconstrained*: the reference phase below uses
+                # a bare SynchronousEngine() and the fast phase a bare
+                # FastPathEngine(), so node_capacity applies to request
+                # routing only.  If capacity is ever added to one reply
+                # phase it must be added to both (and the differential
+                # tests extended), or the bit-for-bit contract breaks.
+                if engine_mode == "fast" and router.last_fast_paths is not None:
+                    n = self.mesh.rows + self.mesh.cols
+                    reply_stats, _spawner, _replies = route_replies_fast(
+                        read_hosts,
+                        values,
+                        packets,
+                        router.last_fast_paths,
+                        budget=500 * n + 2000,
+                        num_nodes=self.mesh.num_nodes,
+                    )
+                    if not reply_stats.completed:
+                        raise RuntimeError(
+                            "mesh reverse-path replies did not complete"
+                        )
+                else:
+                    reply_stats = self._replies_reverse_path(read_hosts, values)
             else:
-                reply_stats = self._replies_fresh_route(read_hosts, values)
+                reply_stats = self._replies_fresh_route(read_hosts, values, engine_mode)
             reply_steps = reply_stats.steps
             max_queue = max(max_queue, reply_stats.max_queue)
 
@@ -205,10 +262,10 @@ class MeshEmulator(Emulator):
             requests=step.num_requests,
         )
 
-    def _replies_fresh_route(self, read_hosts, values):
+    def _replies_fresh_route(self, read_hosts, values, engine_mode: str):
         """EREW replies: an independent run of the 3-stage router from the
         modules back to the requesting processors (the paper's phase 2)."""
-        router = self._make_router()
+        router = self._make_router(engine_mode)
         replies = [
             Packet(i, host.node, host.source, kind="reply", payload=values[host.pid])
             for i, host in enumerate(read_hosts)

@@ -24,6 +24,17 @@ is absorbed — "any number of incoming packets, which have the same
 destination, from different links can be combined into one packet in one
 unit time" (footnote 3).
 
+Node-capacity backpressure (§3.4 / Corollary 3.3, à la [6]) is enforced
+*during* the transmission phase: each link that transmits toward a node
+reserves one of that node's arrival slots for the step, so later links
+aiming at the same node see the claimed slots and stall.  With capacity c
+a node therefore never holds more than c resident packets
+(``max_node_load <= node_capacity``), no matter how many in-links it has.
+Heads that exit the network at the link's target (head.dest == target)
+are exempt — a delivered packet occupies no queue space — and when
+``node_service_rate`` also caps departures, capacity-stalled links do not
+consume service slots: a node's slots go to links that can actually send.
+
 Reference engine vs. fast path
 ------------------------------
 This module is the **reference** engine: maximally general (arbitrary
@@ -77,7 +88,10 @@ class SynchronousEngine:
         Enable CRCW packet combining for packets carrying an ``address``.
     node_capacity:
         If set, a node refuses new arrivals beyond this many resident
-        packets: upstream links stall (backpressure).  Models the O(1)
+        packets: upstream links stall (backpressure).  Arrival slots are
+        reserved as links transmit within a step, so the cap holds even
+        against simultaneous arrivals from many in-links (heads delivered
+        at the target are exempt, see :meth:`_is_exit`).  Models the O(1)
         queue variants of §3.4 / [6].
     track_paths:
         Record every visited node key in ``packet.trace`` (needed to fan
@@ -212,34 +226,68 @@ class SynchronousEngine:
             # serialized model used by the Valiant-comparison baseline)
             arrivals: list[Packet] = []
             newly_empty: list[tuple[Hashable, Hashable]] = []
-            if self.node_service_rate is None:
-                transmit_keys: Iterable = active
-            else:
-                by_node: dict[Hashable, list] = defaultdict(list)
+            capacity = self.node_capacity
+            if capacity is None and self.node_service_rate is None:
+                # Unconstrained hot loop: no capacity bookkeeping at all.
                 for key in active:
-                    by_node[key[0]].append(key)
-                transmit_keys = []
-                for node, keys in by_node.items():
-                    # Stable sort + insertion-ordered `active`: ties go to
-                    # the link that became active first (deterministic).
-                    keys.sort(key=lambda k: -len(queues[k]))
-                    transmit_keys.extend(keys[: self.node_service_rate])
-            for key in transmit_keys:
-                q = queues[key]
-                if self.node_capacity is not None:
+                    q = queues[key]
+                    p = q.pop()
+                    node_load[key[0]] -= 1
+                    p.node = key[1]
+                    p.hops += 1
+                    arrivals.append(p)
+                    if len(q) == 0:
+                        newly_empty.append(key)
+            else:
+                # Arrival slots already claimed at each node this step.
+                # The capacity check must see them: checking only the
+                # pre-step node_load would let every in-link of a full
+                # node transmit in the same step (N arrivals past a
+                # capacity-1 node).
+                reserved: dict[Hashable, int] = defaultdict(int)
+
+                def stalled(key: tuple[Hashable, Hashable]) -> bool:
                     dest_node = key[1]
-                    if (
-                        node_load[dest_node] >= self.node_capacity
-                        and not self._is_exit(q, key)
-                    ):
-                        continue  # backpressure: hold the whole link this step
-                p = q.pop()
-                node_load[key[0]] -= 1
-                p.node = key[1]
-                p.hops += 1
-                arrivals.append(p)
-                if len(q) == 0:
-                    newly_empty.append(key)
+                    if node_load[dest_node] + reserved[dest_node] < capacity:
+                        return False
+                    return not self._is_exit(queues[key], key)
+
+                def transmit(key: tuple[Hashable, Hashable]) -> None:
+                    q = queues[key]
+                    p = q.pop()
+                    node_load[key[0]] -= 1
+                    if capacity is not None and p.dest != key[1]:
+                        reserved[key[1]] += 1
+                    p.node = key[1]
+                    p.hops += 1
+                    arrivals.append(p)
+                    if len(q) == 0:
+                        newly_empty.append(key)
+
+                if self.node_service_rate is None:
+                    for key in active:
+                        if stalled(key):
+                            continue  # backpressure: hold the link this step
+                        transmit(key)
+                else:
+                    by_node: dict[Hashable, list] = defaultdict(list)
+                    for key in active:
+                        by_node[key[0]].append(key)
+                    for node, keys in by_node.items():
+                        # Stable sort + insertion-ordered `active`: ties go
+                        # to the link that became active first.
+                        keys.sort(key=lambda k: -len(queues[k]))
+                        slots = self.node_service_rate
+                        for key in keys:
+                            if slots == 0:
+                                break
+                            # A capacity-stalled link must not burn one of
+                            # the node's service slots while a ready link
+                            # idles.
+                            if capacity is not None and stalled(key):
+                                continue
+                            transmit(key)
+                            slots -= 1
             for key in newly_empty:
                 active.pop(key, None)
 

@@ -2,30 +2,45 @@
 
 :class:`FastPathEngine` replays the exact queue dynamics of
 :class:`repro.routing.engine.SynchronousEngine` — same one-packet-per-link
-steps, FIFO link queues, enqueue-time combining, injection times,
-timeouts, and insertion-ordered transmission — but over **precompiled
-integer trajectories** instead of hashable node keys and a per-hop
-``next_hop`` callback:
+steps, link queues, enqueue-time combining, injection times, timeouts,
+node-capacity backpressure, per-node service rates, and insertion-ordered
+transmission — but over **precompiled integer trajectories** instead of
+hashable node keys and a per-hop ``next_hop`` callback:
 
 * each packet i carries ``paths[i]``: the full list of integer node ids
   it will visit (produced by, e.g.,
-  :meth:`repro.topology.compiled.CompiledLeveledTopology.build_paths`);
+  :meth:`repro.topology.compiled.CompiledLeveledTopology.build_paths` or
+  :meth:`repro.topology.compiled.CompiledMesh2D.three_stage`);
+  variable-length trajectories may be passed as one padded rectangular
+  matrix plus ``path_lengths`` (the pad repeats the destination), which
+  keeps the link interning a single vectorized ``np.unique``;
 * every directed link a packet will ever cross is interned up front to a
-  dense link index (one vectorized ``np.unique`` when all paths have
-  equal length), so the hot loop never hashes a node pair;
+  dense link index, and each packet's remaining itinerary becomes one C
+  iterator over those indices — the hot loop never hashes a node pair or
+  re-indexes a path row;
 * link FIFO queues are intrusive: head/tail/next arrays of packet
   *indices* (a packet waits in at most one queue), so pushes and pops
   are pure list arithmetic with no container allocation; CRCW combining
   is O(1) per arrival via a per-link dict from combine key to the
   resident host's index (mirroring the LinkQueue side index);
-* per-node load and per-link activity live in flat lists.
+* furthest-destination-first arbitration (the §3.4 mesh discipline) is
+  array-based: when per-hop ``priorities`` are supplied, each link keeps
+  a heap of packed integers ``(bias - priority, push counter, packet)``
+  — the priority-and-index part of every key is precomputed as one
+  vectorized matrix, so a push is one OR and one shift, with the exact
+  order of the reference ``FurthestFirstQueue`` (largest priority first,
+  FIFO among ties);
+* per-node load and per-link activity live in flat lists, and the
+  capacity/service-rate arbitration reserves arrival slots during the
+  transmission phase exactly like the reference engine.
 
 Because routers pre-draw all randomness (coin matrices, intermediate
-nodes) *before* choosing an engine, the fast and reference engines
+nodes/rows) *before* choosing an engine, the fast and reference engines
 consume identical random bits and produce identical
 :class:`~repro.routing.metrics.RoutingStats` under a fixed seed; the
 differential tests in ``tests/test_fast_engine.py`` assert this
-field-for-field on star, shuffle, and butterfly networks.
+field-for-field on star, shuffle, butterfly, mesh, linear-array, and
+hypercube networks.
 
 Engine selection: routers take ``engine="auto" | "fast" | "reference"``;
 ``"auto"`` resolves through :func:`resolve_engine_mode`, which honours
@@ -37,6 +52,7 @@ from __future__ import annotations
 
 import os
 from collections import defaultdict
+from heapq import heappop, heappush
 from typing import Callable, Sequence
 
 import numpy as np
@@ -76,22 +92,44 @@ def resolve_engine_mode(mode: str) -> str:
 class FastPathEngine:
     """Synchronous router over precompiled integer paths.
 
-    Parameters mirror the reference engine where applicable; the
-    capacity/service-rate variants are *not* supported here — routers
-    needing them stay on the reference engine.
+    Parameters mirror the reference engine: ``node_capacity`` enables the
+    backpressure model (arrival slots reserved during the transmission
+    phase, delivered-at-target heads exempt) and ``node_service_rate``
+    caps departures per node per step, with capacity-stalled links never
+    consuming a service slot — both bit-for-bit the semantics of
+    :class:`~repro.routing.engine.SynchronousEngine`.
+
+    The capacity exemption compares a head's *final node id* against the
+    link's target, which equals the reference engine's ``head.dest ==
+    link target`` check on every flat integer topology (mesh, linear
+    array, hypercube, shuffle, star).  Leveled tuple-keyed routes never
+    use capacity, so the difference in key spaces is moot there.
     """
 
-    def __init__(self, *, combine: bool = False, track_paths: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        combine: bool = False,
+        track_paths: bool = False,
+        node_capacity: int | None = None,
+        node_service_rate: int | None = None,
+    ) -> None:
         self.combine = combine
         self.track_paths = track_paths
+        self.node_capacity = node_capacity
+        self.node_service_rate = node_service_rate
 
     def run(
         self,
         packets: Sequence[Packet],
-        paths: Sequence[Sequence[int]],
+        paths,
         *,
         num_nodes: int,
         max_steps: int,
+        path_lengths: Sequence[int] | None = None,
+        priorities=None,
+        links: tuple[np.ndarray, np.ndarray] | None = None,
+        spawn_plan: "list[tuple[int, int, list[int]]] | None" = None,
         raise_on_timeout: bool = False,
         on_arrival: Callable | None = None,
         hook_filter: Callable[[Packet], bool] | None = None,
@@ -101,27 +139,127 @@ class FastPathEngine:
         """Route *packets* along *paths* until delivery or *max_steps*.
 
         ``paths[i]`` is packet i's node-id itinerary including its start;
-        the packet is delivered on reaching the last entry.  ``num_nodes``
+        the packet is delivered on reaching entry ``path_lengths[i]``
+        (default: the last entry).  A 2-D ``np.ndarray`` of paths padded
+        past each packet's end (repeating the destination) is accepted —
+        with ``path_lengths`` the pad is never traversed.  ``num_nodes``
         bounds the id space (used to intern links and size load tables).
-        ``on_arrival(index, packet, key, t)`` mirrors the reference
-        engine's hook: called at every node a packet reaches (``key`` is
-        the decoded position key) and may return ``[(packet, path), ...]``
-        to inject there immediately.  ``hook_filter(packet)``, evaluated
-        once when a packet is registered, exempts packets for which the
-        hook could never act (it must be a pure function of the packet —
-        a False means on_arrival is skipped for every node that packet
-        reaches).  ``node_key`` / ``trace_key`` decode
-        ``(position, node_id)`` into the hashable keys written back to
-        ``packet.node`` / ``packet.trace`` (identity when omitted).
+        ``priorities[i][k]`` — when given — is packet i's integer queue
+        priority at its k-th link crossing (largest first, FIFO ties):
+        the furthest-destination-first discipline with priorities
+        evaluated at push time, exactly like the reference
+        ``FurthestFirstQueue``.  ``on_arrival(index, packet, key, t)``
+        mirrors the reference engine's hook: called at every node a
+        packet reaches (``key`` is the decoded position key) and may
+        return ``[(packet, path), ...]`` to inject there immediately.
+        ``hook_filter(packet)``, evaluated once when a packet is
+        registered, exempts packets for which the hook could never act
+        (it must be a pure function of the packet — a False means
+        on_arrival is skipped for every node that packet reaches).
+        ``node_key`` / ``trace_key`` decode ``(position, node_id)`` into
+        the hashable keys written back to ``packet.node`` /
+        ``packet.trace`` (identity when omitted).  ``links`` — a
+        precompiled ``(link_id_matrix, link_src)`` pair aligned with a
+        rectangular *paths* matrix (e.g. the arithmetic mesh encoding of
+        :meth:`repro.topology.compiled.CompiledMesh2D.link_matrix`) —
+        lets the vectorized batch mode skip its np.unique interning pass;
+        other modes ignore it.
+
+        ``spawn_plan`` is the static alternative to ``on_arrival`` for
+        reply fan-out: entries ``(parent, position, children)`` mean that
+        when packet *parent* reaches path position *position*, the listed
+        packet indices activate there (they are passed in *packets* /
+        *paths* up front but stay dormant until triggered; packets never
+        triggered are excluded from the run's stats, exactly as if they
+        were never created).  Requires the vectorized batch mode and is
+        mutually exclusive with ``on_arrival``.
         """
         combine = self.combine
+        capacity = self.node_capacity
+        service_rate = self.node_service_rate
+        use_heap = priorities is not None
+        if use_heap and on_arrival is not None:
+            raise ValueError(
+                "on_arrival injection is not supported with priority queues"
+            )
+
         all_packets: list[Packet] = list(packets)
-        path_list: list[list[int]] = [list(p) for p in paths]
-        if len(all_packets) != len(path_list):
+        rectangular = False
+        path_arr: np.ndarray | None = None
+        if isinstance(paths, np.ndarray):
+            if paths.ndim != 2:
+                raise ValueError("ndarray paths must be 2-D (packets x positions)")
+            path_arr = paths
+            path_list: list[list[int]] = []
+            rectangular = paths.shape[1] > 0
+            n = paths.shape[0]
+        else:
+            path_list = [list(p) for p in paths]
+            widths = {len(p) for p in path_list}
+            rectangular = len(widths) == 1 and widths != {0}
+            n = len(path_list)
+        if len(all_packets) != n:
             raise ValueError("one path per packet required")
-        n = len(all_packets)
+        if path_lengths is None:
+            if path_arr is not None:
+                last = [path_arr.shape[1] - 1] * n
+            else:
+                last = [len(p) - 1 for p in path_list]
+        else:
+            last = [int(x) for x in path_lengths]
+            if len(last) != n:
+                raise ValueError("one path length per packet required")
+            width_of = (
+                (lambda i: path_arr.shape[1])
+                if path_arr is not None
+                else (lambda i: len(path_list[i]))
+            )
+            for i, k in enumerate(last):
+                if not 0 <= k < width_of(i):
+                    raise ValueError(
+                        f"path_lengths[{i}]={k} outside its {width_of(i)}"
+                        "-node path"
+                    )
+
+        # ---- fully vectorized batch mode --------------------------------
+        # The unconstrained, hook-free case (permutation / many-one /
+        # CRCW-combining routing on any compiled topology, under FIFO or
+        # furthest-first arbitration) steps whole transmission and
+        # arrival phases as numpy array operations; per-link priority
+        # heaps become class-indexed FIFO chains and combining becomes
+        # gathers over interned (link, combine-group) codes, so both
+        # vectorize too.  Everything else falls through to the per-event
+        # loop below.
+        if (
+            rectangular
+            and n
+            and on_arrival is None
+            and capacity is None
+            and service_rate is None
+        ):
+            if path_arr is None:
+                path_arr = np.asarray(path_list, dtype=np.int64)
+            return self._run_batch(
+                all_packets,
+                path_arr,
+                np.asarray(last, dtype=np.int64),
+                priorities,
+                links=links,
+                spawn_plan=spawn_plan,
+                num_nodes=num_nodes,
+                max_steps=max_steps,
+                raise_on_timeout=raise_on_timeout,
+                node_key=node_key,
+                trace_key=trace_key,
+            )
+        if spawn_plan is not None:
+            raise ValueError(
+                "spawn_plan requires the vectorized batch mode (rectangular "
+                "paths, no on_arrival/capacity/service-rate)"
+            )
+        if path_arr is not None:
+            path_list = path_arr.tolist()
         pos = [0] * n
-        last = [len(p) - 1 for p in path_list]
         arrived: list[int | None] = [None] * n
         combined_flag = [False] * n
         children: list[list[int] | None] = [None] * n
@@ -136,20 +274,32 @@ class FastPathEngine:
                 else [bool(hook_filter(p)) for p in all_packets]
             )
         node_load = [0] * num_nodes
+        # Final node id per packet, for the backpressure exit exemption.
+        dest_id: list[int] = (
+            [path_list[i][last[i]] for i in range(n)] if capacity is not None else []
+        )
 
         # ---- intern every link each path crosses to a dense index ------
         link_of: dict[int, int] = {}
         link_src: list[int] = []
+        link_dst: list[int] = []
         link_rows: list[list[int]] = []
-        lengths = {len(p) for p in path_list}
-        if len(lengths) == 1 and lengths != {0} and n:
+        if rectangular and n:
             # Rectangular trajectory matrix: one np.unique interns all
-            # links at C speed (the common case for leveled routes).
-            arr = np.asarray(path_list, dtype=np.int64)
+            # links at C speed (the common case for compiled routes).
+            # Padded rows contribute dest->dest self-loop codes; those
+            # links exist but are never enqueued (a packet stops at
+            # position ``last``), so they cost a few idle table slots.
+            arr = (
+                paths
+                if isinstance(paths, np.ndarray)
+                else np.asarray(path_list, dtype=np.int64)
+            )
             if arr.shape[1] > 1:
                 codes = arr[:, :-1] * num_nodes + arr[:, 1:]
                 uniq, inverse = np.unique(codes, return_inverse=True)
                 link_src = (uniq // num_nodes).tolist()
+                link_dst = (uniq % num_nodes).tolist()
                 link_rows = inverse.reshape(codes.shape).tolist()
                 if on_arrival is not None:
                     # Spawned packets intern their links dynamically and
@@ -160,19 +310,70 @@ class FastPathEngine:
         else:
             for path in path_list:
                 link_rows.append(
-                    self._intern_path(path, link_of, link_src, num_nodes)
+                    self._intern_path(path, link_of, link_src, link_dst, num_nodes)
                 )
+
+        # ---- priority packing ------------------------------------------
+        # Heap entries are packed ints ``(bias - prio, counter, index)``
+        # with each field just wide enough for this run; the counter is
+        # globally increasing, so ties within one link's heap break FIFO
+        # — the same order as the reference FurthestFirstQueue's
+        # per-queue counter.  The (priority | index) part of every key is
+        # precomputed per link crossing, so a push ORs in the counter and
+        # nothing else.
+        prio_bias = idx_mask = shift_counter = shift_prio = 0
+        kb_rows: list[list[int]] = []
+        if use_heap:
+            prio_arr = (
+                priorities
+                if isinstance(priorities, np.ndarray)
+                else np.asarray([list(p) for p in priorities], dtype=np.int64)
+            )
+            if prio_arr.shape[0] != n:
+                raise ValueError("one priority row per packet required")
+            pmax = int(prio_arr.max()) if prio_arr.size else 0
+            idx_bits = max(1, n.bit_length())
+            counter_bits = max(1, (sum(last) + 1).bit_length())
+            prio_bits = max(1, pmax.bit_length() + 1)
+            prio_bias = 1 << prio_bits
+            idx_mask = (1 << idx_bits) - 1
+            shift_counter = idx_bits
+            shift_prio = idx_bits + counter_bits
+            if shift_prio + prio_bits + 1 <= 62 and prio_arr.size:
+                kb = (prio_bias - prio_arr.astype(np.int64)) << shift_prio
+                kb |= np.arange(n, dtype=np.int64)[:, None]
+                kb_rows = kb.tolist()
+            else:  # fields too wide for int64: pack in Python big ints
+                kb_rows = [
+                    [((prio_bias - p) << shift_prio) | i for p in row]
+                    for i, row in enumerate(prio_arr.tolist())
+                ]
+
+        # Each packet's remaining itinerary as one C-level iterator:
+        # exhaustion is delivery, so the hot loop does no bounds checks
+        # or row indexing.  Heap mode keeps a parallel iterator of
+        # precomputed key bases (two allocation-free next() calls beat a
+        # zip tuple per hop).
+        iters = [iter(link_rows[i][: last[i]]) for i in range(n)]
+        kb_iters = (
+            [iter(kb_rows[i][: last[i]]) for i in range(n)] if use_heap else []
+        )
 
         # Each link's FIFO queue is threaded through the packets
         # themselves (a packet waits in at most one queue): q_head/q_tail
         # hold packet indices, q_next links them.  No per-link containers
         # to allocate, pushes and pops are pure list-index arithmetic.
+        # Priority mode replaces the threading with per-link heaps of
+        # packed integer keys.  A link is in ``active`` iff its queue is
+        # nonempty (the rebuild after each transmission phase filters on
+        # q_len, preserving the reference engine's activation order).
         n_links = len(link_src)
         q_head = [-1] * n_links
         q_tail = [-1] * n_links
         q_len = [0] * n_links
         q_next = [-1] * n
-        is_active = [False] * n_links
+        q_heap: list[list[int]] = [[] for _ in range(n_links)] if use_heap else []
+        push_counter = 0
         cindex: list[dict | None] = [None] * n_links
         active: list[int] = []
 
@@ -199,9 +400,9 @@ class FastPathEngine:
                     stack.extend(ch)
 
         def place(i: int, t: int) -> None:
-            nonlocal remaining, max_queue, max_node_load, combines
-            k = pos[i]
+            nonlocal remaining, max_queue, max_node_load, combines, push_counter
             if on_arrival is not None and hooked[i]:
+                k = pos[i]
                 here = path_list[i][k]
                 key = trace_key(k, here) if trace_key is not None else here
                 spawned = on_arrival(i, all_packets[i], key, t)
@@ -217,18 +418,20 @@ class FastPathEngine:
                         all_packets.append(q_pkt)
                         path_list.append(q_path)
                         row = self._intern_path(
-                            q_path, link_of, link_src, num_nodes
+                            q_path, link_of, link_src, link_dst, num_nodes
                         )
                         link_rows.append(row)
+                        iters.append(iter(row))
                         while len(q_head) < len(link_src):
                             q_head.append(-1)
                             q_tail.append(-1)
                             q_len.append(0)
-                            is_active.append(False)
                             cindex.append(None)
                         q_next.append(-1)
                         pos.append(0)
                         last.append(len(q_path) - 1)
+                        if capacity is not None:
+                            dest_id.append(q_path[-1])
                         arrived.append(None)
                         combined_flag.append(False)
                         children.append(None)
@@ -239,10 +442,12 @@ class FastPathEngine:
                         )
                         remaining += 1
                         place(len(all_packets) - 1, t)
-            if k == last[i]:
+            li = next(iters[i], None)
+            if li is None:
                 deliver(i, t)
                 return
-            li = link_rows[i][k]
+            if use_heap:
+                kb = next(kb_iters[i])
             if combine:
                 key = ckeys[i]
                 if key is not None:
@@ -259,17 +464,20 @@ class FastPathEngine:
                         combines += 1
                         return
                     index[key] = i
-            tail = q_tail[li]
-            if tail < 0:
-                q_head[li] = i
+            if use_heap:
+                heappush(q_heap[li], kb | (push_counter << shift_counter))
+                push_counter += 1
             else:
-                q_next[tail] = i
-            q_tail[li] = i
-            q_next[i] = -1
+                tail = q_tail[li]
+                if tail < 0:
+                    q_head[li] = i
+                else:
+                    q_next[tail] = i
+                q_tail[li] = i
+                q_next[i] = -1
             length = q_len[li] + 1
             q_len[li] = length
-            if not is_active[li]:
-                is_active[li] = True
+            if length == 1:
                 active.append(li)
             u = link_src[li]
             load = node_load[u] + 1
@@ -280,6 +488,47 @@ class FastPathEngine:
                 max_node_load = load
 
         t = 0
+        simple = capacity is None and service_rate is None
+        if not simple:
+            # Constrained transmission state and helpers, hoisted out of
+            # the step loop (they'd otherwise be rebuilt every step):
+            # mirror the reference engine's reserve-as-you-transmit
+            # capacity discipline and service-rate slot filling
+            # (stalled links keep their slots for ready siblings).
+            arrivals: list[int] = []
+            arrivals_append = arrivals.append
+            reserved: dict[int, int] = {}
+
+            def stalled(li: int) -> bool:
+                w = link_dst[li]
+                if node_load[w] + reserved.get(w, 0) < capacity:
+                    return False
+                head = (q_heap[li][0] & idx_mask) if use_heap else q_head[li]
+                return dest_id[head] != w
+
+            def transmit(li: int) -> None:
+                if use_heap:
+                    i = heappop(q_heap[li]) & idx_mask
+                else:
+                    i = q_head[li]
+                    q_head[li] = q_next[i]
+                    if q_len[li] == 1:
+                        q_tail[li] = -1
+                q_len[li] -= 1
+                if combine:
+                    key = ckeys[i]
+                    if key is not None:
+                        index = cindex[li]
+                        if index.get(key) == i:
+                            del index[key]
+                if capacity is not None:
+                    w = link_dst[li]
+                    if dest_id[i] != w:
+                        reserved[w] = reserved.get(w, 0) + 1
+                node_load[link_src[li]] -= 1
+                pos[i] += 1
+                arrivals_append(i)
+
         while remaining > 0:
             while pending_times and pending_times[-1] <= t:
                 for i in injections[pending_times.pop()]:
@@ -293,31 +542,155 @@ class FastPathEngine:
                     f"{remaining} packets undeliverable: network drained at t={t}"
                 )
 
-            arrivals: list[int] = []
-            arrivals_append = arrivals.append
-            for li in active:
-                i = q_head[li]
-                nxt = q_next[i]
-                q_head[li] = nxt
-                length = q_len[li] - 1
-                q_len[li] = length
-                if combine:
-                    key = ckeys[i]
-                    if key is not None:
-                        index = cindex[li]
-                        if index.get(key) == i:
-                            del index[key]
-                node_load[link_src[li]] -= 1
-                pos[i] += 1
-                arrivals_append(i)
-                if length == 0:
-                    q_tail[li] = -1
-                    is_active[li] = False
-            active = [li for li in active if is_active[li]]
+            if simple:
+                arrivals = []
+                arrivals_append = arrivals.append
+            else:
+                arrivals.clear()
+                reserved.clear()
+            if simple and not use_heap:
+                for li in active:
+                    i = q_head[li]
+                    q_head[li] = q_next[i]
+                    q_len[li] -= 1
+                    if combine:
+                        key = ckeys[i]
+                        if key is not None:
+                            index = cindex[li]
+                            if index.get(key) == i:
+                                del index[key]
+                    node_load[link_src[li]] -= 1
+                    pos[i] += 1
+                    arrivals_append(i)
+                    if q_len[li] == 0:
+                        q_tail[li] = -1
+            elif simple:
+                for li in active:
+                    i = heappop(q_heap[li]) & idx_mask
+                    q_len[li] -= 1
+                    if combine:
+                        key = ckeys[i]
+                        if key is not None:
+                            index = cindex[li]
+                            if index.get(key) == i:
+                                del index[key]
+                    node_load[link_src[li]] -= 1
+                    pos[i] += 1
+                    arrivals_append(i)
+            else:
+                if service_rate is None:
+                    for li in active:
+                        if stalled(li):
+                            continue  # backpressure: hold the link this step
+                        transmit(li)
+                else:
+                    by_node: dict[int, list[int]] = {}
+                    for li in active:
+                        by_node.setdefault(link_src[li], []).append(li)
+                    for _u, links in by_node.items():
+                        # Stable sort + activation-ordered `active`: ties
+                        # go to the link that became active first.
+                        links.sort(key=lambda l: -q_len[l])
+                        slots = service_rate
+                        for li in links:
+                            if slots == 0:
+                                break
+                            if capacity is not None and stalled(li):
+                                continue  # stalled links don't burn slots
+                            transmit(li)
+                            slots -= 1
+            active = [li for li in active if q_len[li]]
 
             t += 1
-            for i in arrivals:
-                place(i, t)
+            if on_arrival is not None:
+                for i in arrivals:
+                    place(i, t)
+            elif use_heap:
+                # Hot path: hook-free arrivals are placed inline, saving
+                # a Python call (and the hook/spawn checks) per hop.
+                for i in arrivals:
+                    li = next(iters[i], None)
+                    if li is None:
+                        if combine:
+                            deliver(i, t)
+                        else:
+                            arrived[i] = t
+                            remaining -= 1
+                        continue
+                    kb = next(kb_iters[i])
+                    if combine:
+                        key = ckeys[i]
+                        if key is not None:
+                            index = cindex[li]
+                            if index is None:
+                                index = cindex[li] = {}
+                            host = index.get(key)
+                            if host is not None:
+                                ch = children[host]
+                                if ch is None:
+                                    ch = children[host] = []
+                                ch.append(i)
+                                combined_flag[i] = True
+                                combines += 1
+                                continue
+                            index[key] = i
+                    heappush(q_heap[li], kb | (push_counter << shift_counter))
+                    push_counter += 1
+                    length = q_len[li] + 1
+                    q_len[li] = length
+                    if length == 1:
+                        active.append(li)
+                    u = link_src[li]
+                    load = node_load[u] + 1
+                    node_load[u] = load
+                    if length > max_queue:
+                        max_queue = length
+                    if load > max_node_load:
+                        max_node_load = load
+            else:
+                for i in arrivals:
+                    li = next(iters[i], None)
+                    if li is None:
+                        if combine:
+                            deliver(i, t)
+                        else:
+                            arrived[i] = t
+                            remaining -= 1
+                        continue
+                    if combine:
+                        key = ckeys[i]
+                        if key is not None:
+                            index = cindex[li]
+                            if index is None:
+                                index = cindex[li] = {}
+                            host = index.get(key)
+                            if host is not None:
+                                ch = children[host]
+                                if ch is None:
+                                    ch = children[host] = []
+                                ch.append(i)
+                                combined_flag[i] = True
+                                combines += 1
+                                continue
+                            index[key] = i
+                    tail = q_tail[li]
+                    if tail < 0:
+                        q_head[li] = i
+                    else:
+                        q_next[tail] = i
+                    q_tail[li] = i
+                    q_next[i] = -1
+                    length = q_len[li] + 1
+                    q_len[li] = length
+                    if length == 1:
+                        active.append(li)
+                    u = link_src[li]
+                    load = node_load[u] + 1
+                    node_load[u] = load
+                    if length > max_queue:
+                        max_queue = length
+                    if load > max_node_load:
+                        max_node_load = load
 
         completed = remaining == 0
         track = self.track_paths
@@ -348,11 +721,445 @@ class FastPathEngine:
             raise RoutingTimeout(stats)
         return stats
 
+    def _run_batch(
+        self,
+        all_packets: list[Packet],
+        path_arr: np.ndarray,
+        last: np.ndarray,
+        priorities,
+        *,
+        links: tuple[np.ndarray, np.ndarray] | None,
+        spawn_plan: "list[tuple[int, int, list[int]]] | None" = None,
+        num_nodes: int,
+        max_steps: int,
+        raise_on_timeout: bool,
+        node_key,
+        trace_key,
+    ) -> RoutingStats:
+        """Vectorized replay: whole phases as array operations.
+
+        Queue state lives in flat arrays over *virtual links* — a
+        (link, priority-class) pair — each holding an intrusive FIFO
+        chain of packet indices.  A link's pop takes the head of its
+        highest nonempty class (largest priority first, FIFO among ties:
+        exactly the reference FurthestFirstQueue order, since two equal
+        priorities pop in push order).  The per-link maximum class is
+        maintained lazily: pushes raise it with ``np.maximum.at``, pops
+        let it go stale and the transmission phase walks it down until
+        it hits a nonempty class — amortized O(1) per event, all masked
+        vector ops.  FIFO discipline is the one-class special case.
+
+        Reference-order equivalence: links transmit in activation order
+        (first arrival first), packets that arrive at one link in one
+        step enqueue in transmission order of their source links, and
+        both orders are preserved here by stable grouping — see the
+        differential tests.
+
+        CRCW combining vectorizes through interned (link, combine-group)
+        codes: a link holds at most one resident packet per combine key
+        (an arrival matching a resident is absorbed instead of queued),
+        so the combine index is a flat ``host_at`` array over the
+        interned codes — gathers find hosts, scatters claim and release
+        them, and absorption trees are kept as parent pointers plus
+        subtree sizes (resolved to the reference engine's delivery
+        cascade after the run).
+        """
+        n, width = path_arr.shape
+        if links is not None:
+            link_mat, link_src = links
+            link_mat = np.asarray(link_mat, dtype=np.int64)
+            link_src = np.asarray(link_src, dtype=np.int64)
+            if link_mat.shape != (n, max(width - 1, 0)):
+                raise ValueError("links matrix must align with the path matrix")
+        elif width > 1:
+            codes = path_arr[:, :-1] * num_nodes + path_arr[:, 1:]
+            uniq, inverse = np.unique(codes, return_inverse=True)
+            link_src = (uniq // num_nodes).astype(np.int64)
+            link_mat = inverse.reshape(codes.shape).astype(np.int64)
+        else:
+            link_src = np.empty(0, dtype=np.int64)
+            link_mat = np.empty((n, 0), dtype=np.int64)
+        n_links = int(link_src.size)
+
+        if priorities is None:
+            n_classes = 1
+            cls_mat = None
+        else:
+            prio_arr = (
+                priorities
+                if isinstance(priorities, np.ndarray)
+                else np.asarray(priorities, dtype=np.int64)
+            )
+            if prio_arr.shape[0] != n:
+                raise ValueError("one priority row per packet required")
+            pmin = int(prio_arr.min()) if prio_arr.size else 0
+            pmax = int(prio_arr.max()) if prio_arr.size else 0
+            n_classes = pmax - pmin + 1
+            cls_mat = (prio_arr - pmin).astype(np.int64)
+
+        combine = self.combine
+        combines = 0
+        spawn_mode = bool(spawn_plan)
+        if spawn_mode:
+            if combine:
+                raise ValueError("spawn_plan and combining are mutually exclusive")
+            # Per-parent spawn schedule, sorted by trigger position; a
+            # packet's next pending trigger lives in ``nsp`` so the hot
+            # loop detects hits with one vector compare.
+            sched: dict[int, list] = {}
+            dormant = np.zeros(n, dtype=bool)
+            for par, q, kids in spawn_plan:
+                sched.setdefault(par, []).append((q, list(kids)))
+                for c in kids:
+                    dormant[c] = True
+            for entries in sched.values():
+                entries.sort(key=lambda e: e[0])
+                for j in range(len(entries) - 1):
+                    if entries[j][0] == entries[j + 1][0]:
+                        raise ValueError("duplicate spawn position for one parent")
+            nsp = np.full(n, -9, dtype=np.int64)
+            for par, entries in sched.items():
+                nsp[par] = entries[0][0]
+            is_root = ~dormant
+            injected_at_arr = np.fromiter(
+                (p.injected_at for p in all_packets), dtype=np.int64, count=n
+            )
+            spawn_seq: list[int] = []
+        if combine:
+            # Dense combine-group ids: packets share a gid iff they share
+            # a combine key; keyless packets get singleton gids.
+            gid = np.empty(n, dtype=np.int64)
+            key_ids: dict = {}
+            next_gid = 0
+            for i, p in enumerate(all_packets):
+                key = p.combine_key
+                if key is None:
+                    gid[i] = next_gid
+                    next_gid += 1
+                else:
+                    g = key_ids.get(key)
+                    if g is None:
+                        g = key_ids[key] = next_gid
+                        next_gid += 1
+                    gid[i] = g
+            vc_codes = link_mat * np.int64(max(next_gid, 1)) + gid[:, None]
+            vc_uniq, vc_inv = np.unique(vc_codes, return_inverse=True)
+            vc_mat = vc_inv.reshape(vc_codes.shape)
+            #: resident host per interned (link, gid) code, -1 if none
+            host_at = np.full(vc_uniq.size, -1, dtype=np.int64)
+            parent = np.full(n, -1, dtype=np.int64)
+            subtree = np.ones(n, dtype=np.int64)
+            combined_arr = np.zeros(n, dtype=bool)
+            child_pairs: list[tuple[np.ndarray, np.ndarray]] = []
+
+        # All-int64 state: values double as fancy indices, and mixed
+        # dtypes make numpy recast index arrays (and buffer ufunc.at
+        # operands) on every call.
+        n_virtual = n_links * n_classes
+        q_head = np.full(n_virtual, -1, dtype=np.int64)
+        q_tail = np.full(n_virtual, -1, dtype=np.int64)
+        q_next = np.full(n, -1, dtype=np.int64)
+        # With one class a link's class-count IS its queue length.
+        counts = np.zeros(n_virtual, dtype=np.int64) if n_classes > 1 else None
+        cls_max = np.zeros(n_links, dtype=np.int64)
+        q_len = np.zeros(n_links, dtype=np.int64)
+        node_load = np.zeros(num_nodes, dtype=np.int64)
+        pos = np.zeros(n, dtype=np.int64)
+        arrived = np.full(n, -1, dtype=np.int64)
+
+        #: links with queued packets, in activation order
+        active = np.empty(0, dtype=np.int64)
+        max_queue = 0
+        max_node_load = 0
+        remaining = n - int(dormant.sum()) if spawn_mode else n
+        # Scratch buffers for activation bookkeeping, reset after use.
+        flag = np.zeros(n_links, dtype=bool)
+        n_links_sentinel = np.int64(n + 1)
+        first_at = np.full(n_links, n_links_sentinel, dtype=np.int64)
+
+        inj_times: dict[int, list[int]] = defaultdict(list)
+        for i, p in enumerate(all_packets):
+            if spawn_mode and dormant[i]:
+                continue  # triggered later by its parent, not by time
+            inj_times[p.injected_at].append(i)
+        pending_times = sorted(inj_times, reverse=True)
+
+        def admit(batch: np.ndarray, t: int):
+            """Place a batch of packets (in order): deliver or enqueue."""
+            nonlocal active, max_queue, max_node_load, remaining, combines
+            k = pos[batch]
+            if spawn_mode and (k == nsp[batch]).any():
+                # Spawn triggers: expand the batch in place.  Matching
+                # the reference hook order, a parent's spawned children
+                # (and their own position-0 spawns, recursively) are
+                # placed *before* the parent at the same node and step.
+                out: list[int] = []
+
+                def emit(i: int, ki: int) -> None:
+                    nonlocal remaining
+                    entries = sched.get(i)
+                    if entries and entries[0][0] == ki:
+                        _, kids = entries.pop(0)
+                        nsp[i] = entries[0][0] if entries else -9
+                        for c in kids:
+                            dormant[c] = False
+                            injected_at_arr[c] = t
+                            remaining += 1
+                            spawn_seq.append(c)
+                            emit(c, 0)
+                    out.append(i)
+
+                for i, ki in zip(batch.tolist(), k.tolist()):
+                    if ki == nsp[i]:
+                        emit(i, ki)
+                    else:
+                        out.append(i)
+                batch = np.asarray(out, dtype=np.int64)
+                k = pos[batch]
+            done = k == last[batch]
+            done_idx = batch[done]
+            if done_idx.size:
+                arrived[done_idx] = t
+                # A delivered host delivers its whole absorption subtree
+                # (the reference engine's deliver cascade).
+                remaining -= (
+                    int(subtree[done_idx].sum()) if combine else int(done_idx.size)
+                )
+                batch = batch[~done]
+                k = k[~done]
+            if not batch.size:
+                return
+            if combine:
+                # Group the batch stably by (link, combine key); each
+                # group either absorbs into that code's resident host or
+                # promotes its first member to host — exactly the
+                # reference engine's arrival-by-arrival semantics, since
+                # a code never holds two residents.
+                vc = vc_mat[batch, k]
+                order0 = np.argsort(
+                    vc * np.int64(vc.size) + np.arange(vc.size, dtype=np.int64)
+                )
+                sv = vc[order0]
+                si = batch[order0]
+                firsts0 = np.empty(sv.shape, dtype=bool)
+                firsts0[0] = True
+                firsts0[1:] = sv[1:] != sv[:-1]
+                grp = np.cumsum(firsts0) - 1
+                ex_host = host_at[sv[firsts0]][grp]
+                absorbed_s = (ex_host >= 0) | ~firsts0
+                new_host = firsts0 & (ex_host < 0)
+                host_at[sv[new_host]] = si[new_host]
+                if absorbed_s.any():
+                    host_elem = np.where(ex_host >= 0, ex_host, si[firsts0][grp])
+                    ch = si[absorbed_s]
+                    hs = host_elem[absorbed_s]
+                    parent[ch] = hs
+                    combined_arr[ch] = True
+                    np.add.at(subtree, hs, subtree[ch])
+                    combines += int(ch.size)
+                    child_pairs.append((hs, ch))
+                    keep = np.ones(batch.size, dtype=bool)
+                    keep[order0[absorbed_s]] = False
+                    batch = batch[keep]
+                    k = k[keep]
+                    if not batch.size:
+                        return
+            li = link_mat[batch, k]
+            if cls_mat is not None:
+                cls = cls_mat[batch, k]
+                vli = li * n_classes + cls
+            else:
+                cls = None
+                vli = li
+            # Stable grouping keeps, per virtual link, the batch's own
+            # arrival order — the FIFO tie order of the reference engine.
+            # Sorting (vli, position) as one combined key gives stable
+            # group order with the default introsort (faster than a
+            # stable mergesort on int64).
+            order = np.argsort(
+                vli * np.int64(li.size) + np.arange(li.size, dtype=np.int64)
+            )
+            s_v = vli[order]
+            s_i = batch[order]
+            same = np.empty(s_v.shape, dtype=bool)
+            same[0] = False
+            same[1:] = s_v[1:] == s_v[:-1]
+            firsts = ~same
+            lasts = np.empty(s_v.shape, dtype=bool)
+            lasts[-1] = True
+            lasts[:-1] = ~same[1:]
+            # Thread each group's chain, then splice it onto the queue.
+            q_next[s_i[lasts]] = -1
+            intra_prev = s_i[:-1][same[1:]]
+            if intra_prev.size:
+                q_next[intra_prev] = s_i[1:][same[1:]]
+            f_v = s_v[firsts]
+            f_i = s_i[firsts]
+            old_tail = q_tail[f_v]
+            was_empty = old_tail < 0
+            q_head[f_v[was_empty]] = f_i[was_empty]
+            q_next[old_tail[~was_empty]] = f_i[~was_empty]
+            q_tail[f_v] = s_i[lasts]
+            pre_len = q_len[li]  # pre-batch lengths (gather before add)
+            np.add.at(q_len, li, 1)
+            if counts is not None:
+                np.add.at(counts, vli, 1)
+                np.maximum.at(cls_max, li, cls)
+            srcs = link_src[li]
+            np.add.at(node_load, srcs, 1)
+            # Max stats only need the touched entries: within the phase
+            # lengths/loads only grow, so the post-batch values are the
+            # step's peaks (gathers see each link's final value at its
+            # last duplicate).
+            mq = int(q_len[li].max())
+            if mq > max_queue:
+                max_queue = mq
+            mnl = int(node_load[srcs].max())
+            if mnl > max_node_load:
+                max_node_load = mnl
+            # Newly activated links, ordered by their first arrival.
+            was_idle = pre_len == 0
+            if was_idle.any():
+                idle_links = li[was_idle]
+                flag[idle_links] = True
+                newly = np.nonzero(flag)[0]
+                flag[idle_links] = False  # reset the scratch buffer
+                if newly.size > 1:
+                    np.minimum.at(
+                        first_at, idle_links,
+                        np.nonzero(was_idle)[0].astype(np.int64),
+                    )
+                    newly = newly[np.argsort(first_at[newly], kind="stable")]
+                    first_at[idle_links] = n_links_sentinel
+                active = np.concatenate([active, newly])
+
+        t = 0
+        while remaining > 0:
+            while pending_times and pending_times[-1] <= t:
+                admit(
+                    np.asarray(inj_times[pending_times.pop()], dtype=np.int64), t
+                )
+            if remaining == 0:
+                break
+            if t >= max_steps:
+                break
+            if not active.size and not pending_times:
+                raise RuntimeError(
+                    f"{remaining} packets undeliverable: network drained at t={t}"
+                )
+
+            # Transmission: every active link pops the head of its
+            # highest nonempty class (lazy walk-down of stale maxima;
+            # the loop narrows to the still-stale subset, so total work
+            # is amortized by pushes, not classes x active links).
+            if n_classes > 1:
+                cls = cls_max[active]
+                vli = active * n_classes + cls
+                stale = np.nonzero(counts[vli] == 0)[0]
+                while stale.size:
+                    cls[stale] -= 1
+                    vli[stale] -= 1
+                    stale = stale[counts[vli[stale]] == 0]
+                cls_max[active] = cls
+            else:
+                vli = active
+            heads = q_head[vli]
+            nxt = q_next[heads]
+            q_head[vli] = nxt
+            q_tail[vli[nxt < 0]] = -1
+            if counts is not None:
+                counts[vli] -= 1
+            if combine:
+                # A departing host releases its combine-code residency.
+                vc_pop = vc_mat[heads, pos[heads]]
+                mine = host_at[vc_pop] == heads
+                host_at[vc_pop[mine]] = -1
+            ql_after = q_len[active] - 1
+            q_len[active] = ql_after
+            np.subtract.at(node_load, link_src[active], 1)
+            pos[heads] += 1
+            arrivals = heads
+            active = active[ql_after > 0]
+
+            t += 1
+            admit(arrivals, t)
+
+        completed = remaining == 0
+        track = self.track_paths
+        tkey = trace_key if trace_key is not None else node_key
+        children_map: dict[int, list[int]] = {}
+        if combine:
+            # Absorbed packets arrive when their absorption root does
+            # (the deliver cascade), and hosts get their children lists
+            # in absorption order.
+            parent_l = parent.tolist()
+            arrived_l0 = arrived.tolist()
+            for j, par in enumerate(parent_l):
+                if par >= 0:
+                    root = par
+                    while parent_l[root] >= 0:
+                        root = parent_l[root]
+                    arrived[j] = arrived_l0[root]
+            for hs, ch in child_pairs:
+                for h, c in zip(hs.tolist(), ch.tolist()):
+                    children_map.setdefault(h, []).append(c)
+        pos_l = pos.tolist()
+        arrived_l = arrived.tolist()
+        node_vals = path_arr[np.arange(n), pos].tolist()
+        path_rows = path_arr.tolist() if track else None
+        combined_l = combined_arr.tolist() if combine else None
+        if spawn_mode:
+            # Never-triggered packets were never part of the run; stats
+            # cover roots (input order) then spawned packets in spawn
+            # order — the reference engine's dynamic append order.
+            sel = np.nonzero(is_root)[0].tolist() + spawn_seq
+            inj_l = injected_at_arr.tolist()
+        else:
+            sel = range(n)
+            inj_l = None
+        # Note: without combining, combined/children keep their
+        # Packet-constructor defaults — matching the reference engine,
+        # which also only touches them through combining.
+        stats_packets = []
+        for i in sel:
+            p = all_packets[i]
+            stats_packets.append(p)
+            k = pos_l[i]
+            a = arrived_l[i]
+            nv = node_vals[i]
+            p.hops = k
+            p.arrived_at = None if a < 0 else a
+            p.node = node_key(k, nv) if node_key is not None else nv
+            if inj_l is not None:
+                p.injected_at = inj_l[i]
+            if combine:
+                p.combined = combined_l[i]
+                ch = children_map.get(i)
+                p.children = [all_packets[j] for j in ch] if ch else None
+            if track:
+                path = path_rows[i]
+                if tkey is not None:
+                    p.trace = [tkey(j, path[j]) for j in range(k + 1)]
+                else:
+                    p.trace = path[: k + 1]
+        stats = collect_stats(
+            stats_packets,
+            steps=t,
+            max_queue=max_queue,
+            completed=completed,
+            combines=combines,
+            max_node_load=max_node_load,
+        )
+        if not completed and raise_on_timeout:
+            raise RoutingTimeout(stats)
+        return stats
+
     @staticmethod
     def _intern_path(
         path: list[int],
         link_of: dict[int, int],
         link_src: list[int],
+        link_dst: list[int],
         num_nodes: int,
     ) -> list[int]:
         """Dense link index per hop of *path*, growing the intern tables."""
@@ -365,6 +1172,7 @@ class FastPathEngine:
             if li is None:
                 li = link_of[code] = len(link_src)
                 link_src.append(prev)
+                link_dst.append(nxt)
             append(li)
             prev = nxt
         return row

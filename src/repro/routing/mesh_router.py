@@ -16,6 +16,14 @@ node-capacity variant (à la [6] / Corollary 3.3) brings queues to O(1).
 The greedy dimension-order router (no stage 1 randomization) is the
 classical baseline that suffers Θ(n²)-ish hot spots on adversarial
 many-one patterns.
+
+Both routers honour ``engine="auto" | "fast" | "reference"``: the stage-0
+random rows are pre-drawn in one batched RNG call before an engine is
+chosen, and the whole trajectory (plus its per-hop
+furthest-destination-first priorities) is a closed-form function of
+(source, i', dest), so the compiled fast path replays the reference
+engine's queue dynamics — including ``node_capacity`` backpressure —
+bit for bit.
 """
 
 from __future__ import annotations
@@ -26,9 +34,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.routing.engine import SynchronousEngine
+from repro.routing.fast_engine import FastPathEngine, resolve_engine_mode
 from repro.routing.metrics import RoutingStats
 from repro.routing.packet import Packet, make_packets
 from repro.routing.queues import fifo_factory, furthest_first_factory
+from repro.topology.compiled import compile_mesh
 from repro.topology.mesh import Mesh2D
 from repro.util.rng import as_generator
 
@@ -38,6 +48,54 @@ def default_slice_rows(n: int) -> int:
     if n <= 2:
         return 1
     return max(1, round(n / math.log2(n)))
+
+
+def _run_fast_mesh(
+    mesh: Mesh2D,
+    packets: list[Packet],
+    *,
+    max_steps: int,
+    inter_rows=None,
+    with_priorities: bool = False,
+    combine: bool = False,
+    track_paths: bool = False,
+    node_capacity: int | None = None,
+):
+    """Compile mesh trajectories and replay them on the fast engine.
+
+    Shared by the 3-stage and greedy routers (greedy is the 3-stage plan
+    with an empty random stage).  Returns ``(plan, stats)``.
+    """
+    compiled = compile_mesh(mesh)
+    plan = compiled.three_stage(
+        [p.source for p in packets],
+        [p.dest for p in packets],
+        inter_rows,
+        with_priorities=with_priorities,
+    )
+    fast = FastPathEngine(
+        combine=combine,
+        track_paths=track_paths,
+        node_capacity=node_capacity,
+    )
+    # Arithmetic link ids only pay off in the vectorized batch mode; a
+    # capacity-constrained run takes the per-event loop, which ignores
+    # them — don't build the matrix just to drop it.
+    links = (
+        (compiled.link_matrix(plan.ids), compiled.link_arrays()[0])
+        if node_capacity is None
+        else None
+    )
+    stats = fast.run(
+        packets,
+        plan.ids,
+        num_nodes=mesh.num_nodes,
+        max_steps=max_steps,
+        path_lengths=plan.lengths,
+        priorities=plan.priorities,
+        links=links,
+    )
+    return plan, stats
 
 
 class MeshRouter:
@@ -53,6 +111,7 @@ class MeshRouter:
         node_capacity: int | None = None,
         track_paths: bool = False,
         combine: bool = False,
+        engine: str = "auto",
     ) -> None:
         self.mesh = mesh
         self.rng = as_generator(seed)
@@ -68,6 +127,18 @@ class MeshRouter:
         else:
             raise ValueError(f"unknown discipline {discipline!r}")
         self.discipline = discipline
+        self.node_capacity = node_capacity
+        self.combine = combine
+        self.track_paths = track_paths
+        self.engine_mode = engine
+        resolve_engine_mode(engine)  # validate eagerly
+        #: after a fast-path run: the packets' compiled (padded) node-id
+        #: itineraries as an ``(n, maxlen+1)`` int matrix, aligned with
+        #: the routed packet list (None after a reference run).  The
+        #: emulation layer reuses these to build reply itineraries
+        #: without re-encoding traces; row i is valid up to position
+        #: ``packet.hops``.
+        self.last_fast_paths: np.ndarray | None = None
         self.engine = SynchronousEngine(
             queue_factory=factory,
             node_capacity=node_capacity,
@@ -108,11 +179,21 @@ class MeshRouter:
 
     # ------------------------------------------------------------------
     def _assign_random_rows(self, packets: list[Packet]) -> None:
-        for p in packets:
-            r, _ = self.mesh.unpack(p.source)
-            s = self.mesh.slice_of_row(r, self.slice_rows)
-            rows = self.mesh.slice_row_range(s, self.slice_rows)
-            i_rand = int(self.rng.integers(rows.start, rows.stop))
+        """Draw every packet's stage-0 random row in one batched RNG call.
+
+        The batch happens *before* an engine is chosen, so both engines
+        consume identical random bits (the differential-test contract).
+        """
+        if not packets:
+            return
+        src = np.fromiter(
+            (p.source for p in packets), dtype=np.int64, count=len(packets)
+        )
+        rows = src // self.mesh.cols
+        lo = (rows // self.slice_rows) * self.slice_rows
+        hi = np.minimum(lo + self.slice_rows, self.mesh.rows)
+        draws = self.rng.integers(lo, hi)
+        for p, i_rand in zip(packets, draws.tolist()):
             p.state = (0, i_rand)
 
     def route(
@@ -128,7 +209,25 @@ class MeshRouter:
         if packets is None:
             packets = make_packets(list(map(int, sources)), list(map(int, dests)))
         self._assign_random_rows(packets)
+        self.last_fast_paths = None
+        if resolve_engine_mode(self.engine_mode) == "fast":
+            return self._run_fast(packets, max_steps)
         return self.engine.run(packets, self._next_hop, max_steps=max_steps)
+
+    def _run_fast(self, packets: list[Packet], max_steps: int) -> RoutingStats:
+        """Compile 3-stage trajectories + priorities; replay them fast."""
+        plan, stats = _run_fast_mesh(
+            self.mesh,
+            packets,
+            max_steps=max_steps,
+            inter_rows=[p.state[1] for p in packets],
+            with_priorities=(self.discipline == "furthest_first"),
+            combine=self.combine,
+            track_paths=self.track_paths,
+            node_capacity=self.node_capacity,
+        )
+        self.last_fast_paths = plan.ids
+        return stats
 
     def route_permutation(
         self, perm: Sequence[int] | np.ndarray, *, max_steps: int | None = None
@@ -148,8 +247,17 @@ class MeshRouter:
 class GreedyMeshRouter:
     """Deterministic dimension-order (column-then-row) FIFO baseline."""
 
-    def __init__(self, mesh: Mesh2D, *, node_capacity: int | None = None) -> None:
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        *,
+        node_capacity: int | None = None,
+        engine: str = "auto",
+    ) -> None:
         self.mesh = mesh
+        self.node_capacity = node_capacity
+        self.engine_mode = engine
+        resolve_engine_mode(engine)  # validate eagerly
         self.engine = SynchronousEngine(
             queue_factory=fifo_factory, node_capacity=node_capacity
         )
@@ -169,4 +277,12 @@ class GreedyMeshRouter:
         if max_steps is None:
             max_steps = 200 * (self.mesh.rows + self.mesh.cols) + 200
         packets = make_packets(list(map(int, sources)), list(map(int, dests)))
+        if resolve_engine_mode(self.engine_mode) == "fast":
+            _plan, stats = _run_fast_mesh(
+                self.mesh,
+                packets,
+                max_steps=max_steps,
+                node_capacity=self.node_capacity,
+            )
+            return stats
         return self.engine.run(packets, self._next_hop, max_steps=max_steps)

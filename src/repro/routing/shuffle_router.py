@@ -17,6 +17,7 @@ from repro.routing.fast_engine import FastPathEngine, resolve_engine_mode
 from repro.routing.metrics import RoutingStats
 from repro.routing.packet import Packet, make_packets
 from repro.routing.queues import fifo_factory
+from repro.topology.compiled import shuffle_unique_paths
 from repro.topology.shuffle import DWayShuffle
 from repro.util.rng import as_generator
 
@@ -91,20 +92,17 @@ class ShuffleRouter:
 
         Hop k of a unique-path phase inserts the target's k-th least
         significant digit at the front, so the whole trajectory matrix
-        falls out of n (or 2n) vectorized shift-and-insert operations.
+        falls out of n (or 2n) vectorized shift-and-insert operations
+        (:func:`repro.topology.compiled.shuffle_unique_paths`).
         """
         sh = self.shuffle
-        d, msb = sh.d, sh.num_nodes // sh.d
-        cur = np.fromiter((p.node for p in packets), dtype=np.int64, count=len(packets))
-        columns = [cur]
-        for target in ([inters] if inters is not None else []) + [
-            np.fromiter((p.dest for p in packets), dtype=np.int64, count=len(packets))
-        ]:
-            target = np.asarray(target, dtype=np.int64)
-            for k in range(sh.n):
-                cur = cur // d + ((target // d**k) % d) * msb
-                columns.append(cur)
-        paths = np.stack(columns, axis=1).tolist()
+        dests = np.fromiter(
+            (p.dest for p in packets), dtype=np.int64, count=len(packets)
+        )
+        targets = ([inters] if inters is not None else []) + [dests]
+        paths = shuffle_unique_paths(
+            sh, [p.node for p in packets], targets
+        )
         fast = FastPathEngine()
         return fast.run(
             packets, paths, num_nodes=sh.num_nodes, max_steps=max_steps

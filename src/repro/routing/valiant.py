@@ -11,6 +11,12 @@ Two reference points from the paper's discussion:
   bottleneck is the balls-in-bins maximum node congestion — whereas
   Algorithm 2.3 under the parallel-link model achieves Õ(n).  Experiment
   E12 measures the growing gap.
+
+Both baselines pre-draw their random intermediates, so every itinerary
+is known before routing and ``engine="auto" | "fast" | "reference"``
+selects between the reference engine and a compiled replay — including
+the serialized (``node_service_rate=1``) shuffle model, which the fast
+engine arbitrates exactly like the reference one.
 """
 
 from __future__ import annotations
@@ -20,9 +26,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.routing.engine import SynchronousEngine
+from repro.routing.fast_engine import FastPathEngine, resolve_engine_mode
 from repro.routing.metrics import RoutingStats
 from repro.routing.packet import Packet, make_packets
 from repro.routing.queues import fifo_factory
+from repro.topology.compiled import hypercube_paths, shuffle_unique_paths
 from repro.topology.hypercube import Hypercube
 from repro.topology.shuffle import DWayShuffle
 from repro.util.rng import as_generator
@@ -31,10 +39,19 @@ from repro.util.rng import as_generator
 class ValiantHypercubeRouter:
     """Valiant–Brebner 2-phase randomized bit-fixing on the n-cube."""
 
-    def __init__(self, cube: Hypercube, *, seed=None, randomized: bool = True) -> None:
+    def __init__(
+        self,
+        cube: Hypercube,
+        *,
+        seed=None,
+        randomized: bool = True,
+        engine: str = "auto",
+    ) -> None:
         self.cube = cube
         self.randomized = randomized
         self.rng = as_generator(seed)
+        self.engine_mode = engine
+        resolve_engine_mode(engine)  # validate eagerly
         self.engine = SynchronousEngine(queue_factory=fifo_factory)
 
     def _next_hop(self, p: Packet):
@@ -61,6 +78,20 @@ class ValiantHypercubeRouter:
             inters = self.rng.integers(self.cube.num_nodes, size=len(packets))
             for p, r in zip(packets, inters):
                 p.state = int(r)
+        if resolve_engine_mode(self.engine_mode) == "fast":
+            plan = hypercube_paths(
+                self.cube.n,
+                [p.source for p in packets],
+                [p.dest for p in packets],
+                inters=[p.state for p in packets] if self.randomized else None,
+            )
+            return FastPathEngine().run(
+                packets,
+                plan.ids,
+                num_nodes=self.cube.num_nodes,
+                max_steps=max_steps,
+                path_lengths=plan.lengths,
+            )
         return self.engine.run(packets, self._next_hop, max_steps=max_steps)
 
     def route_random_permutation(self, *, max_steps: int | None = None) -> RoutingStats:
@@ -89,6 +120,7 @@ def valiant_shuffle_route(
     *,
     seed=None,
     max_steps: int | None = None,
+    engine: str = "auto",
 ) -> RoutingStats:
     """Valiant's 2-phase scheme on the d-way shuffle, serialized node model.
 
@@ -120,5 +152,13 @@ def valiant_shuffle_route(
     inters = rng.integers(shuffle.num_nodes, size=len(packets))
     for p, r in zip(packets, inters):
         p.state = (0, 0, int(r))
-    engine = SynchronousEngine(queue_factory=fifo_factory, node_service_rate=1)
-    return engine.run(packets, next_hop, max_steps=max_steps)
+    if resolve_engine_mode(engine) == "fast":
+        paths = shuffle_unique_paths(
+            shuffle, [p.source for p in packets], [inters, dests]
+        )
+        fast = FastPathEngine(node_service_rate=1)
+        return fast.run(
+            packets, paths, num_nodes=shuffle.num_nodes, max_steps=max_steps
+        )
+    ref = SynchronousEngine(queue_factory=fifo_factory, node_service_rate=1)
+    return ref.run(packets, next_hop, max_steps=max_steps)

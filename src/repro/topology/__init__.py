@@ -17,11 +17,22 @@ from repro.topology.leveled import (
     ShuffleLeveled,
     StarLogicalLeveled,
 )
-from repro.topology.compiled import CompiledLeveledTopology, compile_leveled
+from repro.topology.compiled import (
+    CompiledLeveledTopology,
+    CompiledMesh2D,
+    TrajectoryPlan,
+    compact_paths,
+    compile_leveled,
+    compile_mesh,
+    hypercube_paths,
+    linear_paths,
+    shuffle_unique_paths,
+)
 
 __all__ = [
     "Butterfly",
     "CompiledLeveledTopology",
+    "CompiledMesh2D",
     "DAryButterflyLeveled",
     "DWayShuffle",
     "Hypercube",
@@ -32,5 +43,11 @@ __all__ = [
     "StarGraph",
     "StarLogicalLeveled",
     "Topology",
+    "TrajectoryPlan",
+    "compact_paths",
     "compile_leveled",
+    "compile_mesh",
+    "hypercube_paths",
+    "linear_paths",
+    "shuffle_unique_paths",
 ]

@@ -1,11 +1,21 @@
-"""Integer-compiled leveled topologies: the data layer of the fast path.
+"""Integer-compiled topologies: the data layer of the fast path.
 
-The reference engine addresses a leveled network's nodes with
-``(pass, column, row)`` tuples and discovers each hop by calling
+The reference engine discovers each hop by calling ``next_hop`` /
 ``out_neighbors`` / ``unique_next`` per packet per step.  At interesting
-scales (N >= 4096 rows) that tuple hashing and per-hop topology math
-dominates the run time.  This module compiles a :class:`LeveledNetwork`
-once into dense integer form:
+scales that per-hop topology math (and, for leveled networks, tuple
+hashing) dominates the run time.  This module precompiles whole packet
+populations' trajectories with a handful of vectorized operations:
+
+* :class:`CompiledLeveledTopology` — dense integer form of a
+  :class:`LeveledNetwork` (both passes of Algorithm 2.1);
+* :class:`CompiledMesh2D` — the 3-stage randomized mesh trajectories of
+  §3.4 (and their furthest-destination-first priorities) plus greedy
+  dimension-order paths, as padded matrices + lengths;
+* :func:`linear_paths`, :func:`hypercube_paths`,
+  :func:`shuffle_unique_paths` — the linear array, Valiant–Brebner
+  bit-fixing, and d-way-shuffle digit-insertion itineraries.
+
+Leveled compilation in detail:
 
 * every engine position gets a flat **node id** — position k on a
   packet's 2L-hop journey lies in "unrolled column" k (the two passes of
@@ -24,6 +34,7 @@ which never touches the topology again.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -149,3 +160,234 @@ def compile_leveled(net: LeveledNetwork) -> CompiledLeveledTopology:
         compiled = CompiledLeveledTopology(net)
         net._compiled_topology = compiled
     return compiled
+
+
+# ======================================================================
+# Flat-topology trajectory builders (mesh, linear array, hypercube,
+# shuffle).  These produce padded rectangular matrices: row i repeats
+# packet i's destination past position ``lengths[i]``, which the fast
+# engine never traverses (it delivers at ``path_lengths``).  Keeping the
+# matrix rectangular lets one np.unique intern every link at C speed.
+# ======================================================================
+
+
+@dataclass
+class TrajectoryPlan:
+    """A compiled routing plan for one packet population.
+
+    ``ids[i, k]`` is the node id of packet i at position k; positions
+    beyond ``lengths[i]`` repeat the destination (padding).
+    ``priorities[i, k]``, when compiled, is the §3.4
+    furthest-destination-first priority of packet i's k-th link crossing
+    — the distance left in its current stage, exactly the value the
+    reference :class:`~repro.routing.mesh_router.MeshRouter` computes at
+    push time.
+    """
+
+    ids: np.ndarray
+    lengths: np.ndarray
+    priorities: np.ndarray | None = None
+
+
+class CompiledMesh2D:
+    """Vectorized trajectory compiler for a :class:`Mesh2D`.
+
+    The 3-stage randomized route of §3.4 (Theorem 3.1) — column to a
+    random row, row to the destination column, column to the destination
+    row — is a pure function of (source, random row, destination), so a
+    whole population's trajectories fall out of a few broadcast clips:
+    position k's row/column is the stage-wise saturating walk
+    ``start + clip(k - stage_offset, 0, stage_len) * step``.  Greedy
+    dimension-order (column-then-row) paths are the degenerate plan with
+    an empty stage 0 (the random row equals the source row).
+    """
+
+    def __init__(self, mesh) -> None:
+        self.mesh = mesh
+
+    def three_stage(
+        self,
+        sources: Sequence[int],
+        dests: Sequence[int],
+        inter_rows: Sequence[int] | None = None,
+        *,
+        with_priorities: bool = False,
+    ) -> TrajectoryPlan:
+        """Compile 3-stage (or, with ``inter_rows=None``, greedy XY) paths.
+
+        ``inter_rows`` holds each packet's pre-drawn stage-0 random row
+        i'; omitting it pins i' to the source row, which degenerates the
+        plan to the deterministic dimension-order baseline.
+        """
+        cols_n = self.mesh.cols
+        src = np.asarray(sources, dtype=np.int64)
+        dst = np.asarray(dests, dtype=np.int64)
+        r0, c0 = np.divmod(src, cols_n)
+        dr, dc = np.divmod(dst, cols_n)
+        ir = r0 if inter_rows is None else np.asarray(inter_rows, dtype=np.int64)
+        la = np.abs(ir - r0)
+        sa = np.sign(ir - r0)
+        lb = np.abs(dc - c0)
+        sb = np.sign(dc - c0)
+        lc = np.abs(dr - ir)
+        sc = np.sign(dr - ir)
+        lengths = la + lb + lc
+        maxlen = int(lengths.max()) if src.size else 0
+        k = np.arange(maxlen + 1, dtype=np.int64)[None, :]
+        # ids accumulated in place: row*cols + col with one live temporary.
+        ids = np.clip(k, 0, la[:, None])
+        ids *= sa[:, None]
+        seg = np.clip(k - (la + lb)[:, None], 0, lc[:, None])
+        seg *= sc[:, None]
+        ids += seg
+        ids += r0[:, None]
+        ids *= cols_n
+        np.clip(k - la[:, None], 0, lb[:, None], out=seg)
+        seg *= sb[:, None]
+        ids += seg
+        ids += c0[:, None]
+        priorities = None
+        if with_priorities:
+            # Priority of link crossing k = distance left in the stage
+            # containing k: la-k in stage 0, (la+lb)-k in stage 1,
+            # (la+lb+lc)-k in stage 2 — empty stages skip naturally.
+            kk = np.arange(maxlen, dtype=np.int64)[None, :]
+            ab = (la + lb)[:, None]
+            priorities = np.where(
+                kk < la[:, None],
+                la[:, None] - kk,
+                np.where(kk < ab, ab - kk, lengths[:, None] - kk),
+            )
+            # Entries past a packet's length are never pushed; clamp them
+            # so packed heap keys stay well-formed anyway.
+            priorities = np.maximum(priorities, 0)
+        return TrajectoryPlan(ids, lengths, priorities)
+
+
+    # ---- arithmetic link ids -----------------------------------------
+    # A mesh node has at most 4 out-links, so directed link (u, v) gets
+    # the dense id ``u * 4 + direction`` with no interning pass at all —
+    # the fast engine's np.unique over a whole trajectory matrix is the
+    # single most expensive setup step at scale, and meshes don't need it.
+    _DIR_EAST, _DIR_WEST, _DIR_SOUTH, _DIR_NORTH = 0, 1, 2, 3
+
+    def link_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached (link_src, link_dst) tables for the 4N arithmetic ids.
+
+        Boundary directions that have no physical link get ids too; they
+        are never referenced by a real trajectory, so their dst entries
+        are only placeholders.
+        """
+        cached = getattr(self, "_link_arrays", None)
+        if cached is None:
+            num = self.mesh.num_nodes
+            src = np.repeat(np.arange(num, dtype=np.int64), 4)
+            delta = np.tile(
+                np.asarray([1, -1, self.mesh.cols, -self.mesh.cols]), num
+            )
+            dst = np.clip(src + delta, 0, num - 1)
+            cached = self._link_arrays = (src, dst)
+        return cached
+
+    def link_matrix(self, ids: np.ndarray) -> np.ndarray:
+        """Arithmetic link id per hop of a padded trajectory matrix."""
+        cols = self.mesh.cols
+        u = ids[:, :-1]
+        diff = ids[:, 1:] - u
+        direction = np.zeros_like(diff)
+        direction[diff == -1] = self._DIR_WEST
+        direction[diff == cols] = self._DIR_SOUTH
+        direction[diff == -cols] = self._DIR_NORTH
+        return u * 4 + direction
+
+
+def compile_mesh(mesh) -> CompiledMesh2D:
+    """Compiled view of *mesh*, cached on the mesh instance."""
+    compiled = getattr(mesh, "_compiled_topology", None)
+    if compiled is None:
+        compiled = CompiledMesh2D(mesh)
+        mesh._compiled_topology = compiled
+    return compiled
+
+
+def linear_paths(sources: Sequence[int], dests: Sequence[int]) -> TrajectoryPlan:
+    """Monotone walks on a linear array, as a padded plan."""
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(dests, dtype=np.int64)
+    lengths = np.abs(dst - src)
+    step = np.sign(dst - src)
+    maxlen = int(lengths.max()) if src.size else 0
+    k = np.arange(maxlen + 1, dtype=np.int64)[None, :]
+    ids = src[:, None] + np.clip(k, 0, lengths[:, None]) * step[:, None]
+    return TrajectoryPlan(ids, lengths)
+
+
+def compact_paths(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Remove in-place repeats from each row of a trajectory matrix.
+
+    Phase-structured builders (e.g. two-phase bit fixing) emit one column
+    per potential hop, so packets that finish a phase early repeat their
+    position mid-row; the engine would traverse those repeats as
+    self-loop links.  This squeezes every row to its true itinerary and
+    re-pads at the end with the destination, returning ``(ids, lengths)``.
+    """
+    n, width = arr.shape
+    if width == 0:
+        raise ValueError("trajectory matrix needs at least one column")
+    keep = np.ones(arr.shape, dtype=bool)
+    keep[:, 1:] = arr[:, 1:] != arr[:, :-1]
+    idx = np.cumsum(keep, axis=1) - 1
+    lengths = idx[:, -1].copy()
+    maxlen = int(lengths.max()) if n else 0
+    out = np.repeat(arr[:, -1][:, None], maxlen + 1, axis=1)
+    rows = np.broadcast_to(np.arange(n)[:, None], arr.shape)
+    out[rows[keep], idx[keep]] = arr[keep]
+    return out, lengths
+
+
+def hypercube_paths(
+    n_dims: int,
+    sources: Sequence[int],
+    dests: Sequence[int],
+    inters: Sequence[int] | None = None,
+) -> TrajectoryPlan:
+    """Valiant–Brebner e-cube itineraries on the binary n-cube.
+
+    Phase 1 (when ``inters`` is given) fixes differing bits
+    lowest-dimension first toward the random intermediate, phase 2
+    continues to the destination — the same order as
+    :meth:`Hypercube.route_next`, vectorized one dimension at a time.
+    """
+    cur = np.asarray(sources, dtype=np.int64).copy()
+    columns = [cur.copy()]
+    targets = ([] if inters is None else [inters]) + [dests]
+    for target in targets:
+        target = np.asarray(target, dtype=np.int64)
+        for _ in range(n_dims):
+            diff = cur ^ target
+            cur = cur ^ (diff & -diff)
+            columns.append(cur.copy())
+    ids, lengths = compact_paths(np.stack(columns, axis=1))
+    return TrajectoryPlan(ids, lengths)
+
+
+def shuffle_unique_paths(
+    shuffle, sources: Sequence[int], targets: "list[Sequence[int]]"
+) -> np.ndarray:
+    """Digit-insertion itineraries on the d-way shuffle, one per packet.
+
+    Hop k of a unique-path phase inserts the target's k-th least
+    significant digit at the front (§2.3.5), so each phase is n
+    vectorized shift-and-insert operations; consecutive equal nodes are
+    *real* self-loop hops in this model (the reference engine routes
+    through them), so the matrix is exact — no compaction, no padding.
+    """
+    d, msb = shuffle.d, shuffle.num_nodes // shuffle.d
+    cur = np.asarray(sources, dtype=np.int64)
+    columns = [cur]
+    for target in targets:
+        target = np.asarray(target, dtype=np.int64)
+        for k in range(shuffle.n):
+            cur = cur // d + ((target // d**k) % d) * msb
+            columns.append(cur)
+    return np.stack(columns, axis=1)

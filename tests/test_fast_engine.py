@@ -14,19 +14,28 @@ import numpy as np
 import pytest
 
 from repro.emulation.leveled import LeveledEmulator
+from repro.emulation.mesh import MeshEmulator
 from repro.pram.trace import h_relation_step, hotspot_step, permutation_step
 from repro.routing import (
     FastPathEngine,
+    GreedyMeshRouter,
+    GreedyRouter,
     LeveledRouter,
+    MeshRouter,
     ShuffleRouter,
     StarRouter,
+    ValiantHypercubeRouter,
     resolve_engine_mode,
+    valiant_shuffle_route,
 )
 from repro.routing.fast_engine import ENGINE_ENV_VAR
 from repro.routing.packet import make_packets
 from repro.topology import (
     DAryButterflyLeveled,
     DWayShuffle,
+    Hypercube,
+    LinearArray,
+    Mesh2D,
     ShuffleLeveled,
     StarGraph,
     StarLogicalLeveled,
@@ -184,6 +193,230 @@ class TestPhysicalRouterDifferential:
         )
         assert_stats_equal(sf, sr)
         assert pf[1].arrived_at == pr[1].arrived_at == 5
+
+
+class TestMeshStackDifferential:
+    """The §3.3–3.4 mesh stack: routers and emulator, both engines."""
+
+    @pytest.mark.parametrize("discipline", ["furthest_first", "fifo"])
+    @pytest.mark.parametrize("capacity", [None, 4])
+    def test_mesh_router_permutation_matches(self, discipline, capacity):
+        mesh = Mesh2D.square(10)
+        perm = np.random.default_rng(2).permutation(mesh.num_nodes)
+
+        def run(engine):
+            return MeshRouter(
+                mesh,
+                seed=11,
+                discipline=discipline,
+                node_capacity=capacity,
+                engine=engine,
+            ).route_permutation(perm)
+
+        fast, ref = run("fast"), run("reference")
+        assert fast.completed
+        assert_stats_equal(fast, ref)
+
+    def test_mesh_router_many_one_matches(self):
+        mesh = Mesh2D.square(9)
+        rng = np.random.default_rng(4)
+        dests = rng.integers(0, mesh.num_nodes, size=mesh.num_nodes)
+
+        def run(engine):
+            return MeshRouter(mesh, seed=7, engine=engine).route(
+                np.arange(mesh.num_nodes), dests, max_steps=5000
+            )
+
+        fast, ref = run("fast"), run("reference")
+        assert fast.completed
+        assert_stats_equal(fast, ref)
+
+    def test_mesh_router_traces_match(self):
+        mesh = Mesh2D.square(6)
+        perm = np.random.default_rng(6).permutation(mesh.num_nodes)
+
+        def run(engine):
+            router = MeshRouter(mesh, seed=3, track_paths=True, engine=engine)
+            pkts = make_packets(list(range(mesh.num_nodes)), perm.tolist())
+            router.route(None, None, packets=pkts)
+            return pkts
+
+        for a, b in zip(run("fast"), run("reference")):
+            assert a.trace == b.trace
+            assert a.node == b.node
+
+    def test_mesh_router_timeout_matches(self):
+        mesh = Mesh2D.square(10)
+        perm = np.random.default_rng(9).permutation(mesh.num_nodes)
+        budget = 6  # below the diameter: many packets miss it
+
+        def run(engine):
+            return MeshRouter(mesh, seed=5, engine=engine).route_permutation(
+                perm, max_steps=budget
+            )
+
+        fast, ref = run("fast"), run("reference")
+        assert not fast.completed
+        assert_stats_equal(fast, ref)
+
+    @pytest.mark.parametrize("capacity", [None, 3])
+    def test_greedy_mesh_matches(self, capacity):
+        mesh = Mesh2D.square(9)
+        rng = np.random.default_rng(8)
+        dests = rng.integers(0, mesh.num_nodes, size=mesh.num_nodes)
+
+        def run(engine):
+            return GreedyMeshRouter(
+                mesh, node_capacity=capacity, engine=engine
+            ).route(np.arange(mesh.num_nodes), dests)
+
+        fast, ref = run("fast"), run("reference")
+        assert fast.completed
+        assert_stats_equal(fast, ref)
+
+    @pytest.mark.parametrize(
+        "topology",
+        [Mesh2D.square(7), LinearArray(40), Hypercube(6), StarGraph(4)],
+        ids=lambda t: type(t).__name__,
+    )
+    def test_greedy_router_matches(self, topology):
+        """GreedyRouter fast paths: vectorized builders for mesh, linear
+        array and hypercube; generic route_next walk otherwise."""
+        rng = np.random.default_rng(12)
+        n = topology.num_nodes
+        sources = np.arange(n)
+        dests = rng.permutation(n)
+
+        def run(engine):
+            return GreedyRouter(topology, engine=engine).route(sources, dests)
+
+        fast, ref = run("fast"), run("reference")
+        assert fast.completed
+        assert_stats_equal(fast, ref)
+
+    @pytest.mark.parametrize("randomized", [True, False])
+    def test_valiant_hypercube_matches(self, randomized):
+        cube = Hypercube(7)
+        perm = np.random.default_rng(14).permutation(cube.num_nodes)
+
+        def run(engine):
+            return ValiantHypercubeRouter(
+                cube, seed=15, randomized=randomized, engine=engine
+            ).route(np.arange(cube.num_nodes), perm)
+
+        fast, ref = run("fast"), run("reference")
+        assert fast.completed
+        assert_stats_equal(fast, ref)
+
+    def test_valiant_shuffle_serialized_matches(self):
+        """The node_service_rate=1 model must arbitrate identically."""
+        sh = DWayShuffle(3, 3)
+        perm = np.random.default_rng(16).permutation(sh.num_nodes)
+
+        def run(engine):
+            return valiant_shuffle_route(
+                sh, np.arange(sh.num_nodes), perm, seed=17, engine=engine
+            )
+
+        fast, ref = run("fast"), run("reference")
+        assert fast.completed
+        assert_stats_equal(fast, ref)
+
+    @pytest.mark.parametrize("mode", ["erew", "crcw"])
+    def test_mesh_emulator_step_costs_match(self, mode):
+        n_side = 6
+        n = n_side * n_side
+        space = 128
+        steps = [
+            permutation_step(n, space, seed=2),
+            permutation_step(n, space, seed=4, kind="write"),
+        ]
+        if mode == "crcw":
+            # Concurrent-access patterns are only legal in CRCW mode.
+            steps.insert(0, hotspot_step(n, space, seed=1))
+            steps.append(h_relation_step(n, space, 2, seed=3))
+
+        def run(engine):
+            em = MeshEmulator(
+                Mesh2D.square(n_side), space, mode=mode, seed=21, engine=engine
+            )
+            costs = []
+            for s in steps:
+                c = em.emulate_step(s)
+                costs.append(
+                    (c.request_steps, c.reply_steps, c.rehashes, c.combines, c.max_queue)
+                )
+            mem = [em.memory.read(a) for a in range(space)]
+            return costs, mem
+
+        fast_costs, fast_mem = run("fast")
+        ref_costs, ref_mem = run("reference")
+        assert fast_costs == ref_costs
+        assert fast_mem == ref_mem
+
+    @pytest.mark.parametrize("mode", ["erew", "crcw"])
+    def test_mesh_emulator_capacity_variant_matches(self, mode):
+        """Corollary 3.3's O(1)-queue emulation, differentially.
+
+        The CRCW case pins the combine-with-capacity interaction in the
+        fast engine's constrained per-event loop (combining index
+        release inside transmit, stalled-head checks on a combining
+        heap)."""
+        n_side = 6
+        n = n_side * n_side
+        step = (
+            permutation_step(n, 128, seed=5)
+            if mode == "erew"
+            else hotspot_step(n, 128, seed=5)
+        )
+
+        def run(engine):
+            em = MeshEmulator(
+                Mesh2D.square(n_side),
+                128,
+                mode=mode,
+                node_capacity=8,
+                seed=23,
+                engine=engine,
+            )
+            c = em.emulate_step(step)
+            return (
+                c.request_steps,
+                c.reply_steps,
+                c.rehashes,
+                c.combines,
+                c.max_queue,
+            )
+
+        costs_fast = run("fast")
+        costs_ref = run("reference")
+        assert costs_fast == costs_ref
+        if mode == "crcw":
+            assert costs_fast[3] > 0  # combining actually exercised
+
+    def test_mesh_router_combining_with_capacity_matches(self):
+        """combine=True + node_capacity: the constrained fast loop must
+        release combine-index residency and stall exactly like the
+        reference priority queues."""
+        mesh = Mesh2D.square(8)
+        n = mesh.num_nodes
+        rng = np.random.default_rng(18)
+        addresses = rng.integers(6, size=n)
+        dests = (addresses * 7) % n
+
+        def run(engine):
+            router = MeshRouter(
+                mesh, seed=19, combine=True, node_capacity=6, engine=engine
+            )
+            pkts = make_packets(
+                list(range(n)), dests.tolist(), addresses=addresses.tolist()
+            )
+            return router.route(None, None, packets=pkts, max_steps=4000)
+
+        fast, ref = run("fast"), run("reference")
+        assert fast.combines > 0
+        assert fast.max_node_load <= 6
+        assert_stats_equal(fast, ref)
 
 
 class TestEmulatorDifferential:
