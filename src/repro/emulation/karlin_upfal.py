@@ -38,6 +38,7 @@ class KarlinUpfalMeshEmulator(MeshEmulator):
             seed=self.rng,
             slice_rows=self.slice_rows,
             node_capacity=self.node_capacity,
+            flow_control=self.flow_control,
         )
         packets = [
             Packet(i, int(s), int(d), kind=k, address=a, payload=v)

@@ -38,6 +38,7 @@ from repro.pram.trace import StepTrace
 from repro.pram.variants import WritePolicy, resolve_writes
 from repro.routing.engine import SynchronousEngine
 from repro.routing.fast_engine import resolve_engine_mode
+from repro.routing.flow_control import DeadlockError, resolve_flow_control
 from repro.routing.leveled_router import LeveledRouter
 from repro.routing.packet import Packet
 from repro.topology.compiled import compile_leveled
@@ -65,6 +66,14 @@ class LeveledEmulator(Emulator):
     rehash_factor:
         Time allotment per routing phase, as a multiple of the 2L path
         length; exceeding it triggers a rehash.
+    node_capacity / flow_control:
+        Bounded per-node buffering for the *request* phase (reply
+        fan-out runs unconstrained in both engines, mirroring the mesh
+        emulator's CRCW reply contract); ``flow_control="credit"``
+        enables the deadlock-free escape protocol of
+        :mod:`repro.routing.flow_control`, and a wedged attempt
+        (``DeadlockError``) is treated like a missed allotment: rehash
+        and retry.
     engine:
         Routing simulator: "auto" (default; compiled fast path, see
         :mod:`repro.routing.fast_engine`), "fast", or "reference".  Both
@@ -84,6 +93,8 @@ class LeveledEmulator(Emulator):
         hash_c: float = 1.0,
         rehash_factor: float = 8.0,
         max_rehashes: int = 8,
+        node_capacity: int | None = None,
+        flow_control: str = "none",
         seed=None,
         validate: bool = True,
         engine: str = "auto",
@@ -97,6 +108,10 @@ class LeveledEmulator(Emulator):
         self.write_policy = write_policy
         self.combine_op = combine_op
         self.intermediate = intermediate
+        self.node_capacity = node_capacity
+        self.flow_control = resolve_flow_control(
+            flow_control, node_capacity=node_capacity
+        )
         self.rehash_factor = rehash_factor
         self.max_rehashes = max_rehashes
         self.validate = validate
@@ -196,6 +211,8 @@ class LeveledEmulator(Emulator):
                 intermediate=self.intermediate,
                 seed=self.rng,
                 combine=(self.mode == "crcw"),
+                node_capacity=self.node_capacity,
+                flow_control=self.flow_control,
                 track_paths=not fast_engages,
                 engine=mode,
             )
@@ -203,7 +220,12 @@ class LeveledEmulator(Emulator):
         for attempt in range(self.max_rehashes + 1):
             router = make_router()
             packets = self._build_request_packets(step)
-            stats = router.route_packets(packets, max_steps=allotment)
+            try:
+                stats = router.route_packets(packets, max_steps=allotment)
+            except DeadlockError as exc:
+                # A wedged attempt is just a failed attempt: a rehash
+                # redraws the trajectories.
+                stats = exc.stats
             if stats.completed:
                 return router, packets, stats, rehashes
             if attempt < self.max_rehashes:

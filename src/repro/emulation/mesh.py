@@ -43,6 +43,7 @@ from repro.pram.trace import StepTrace
 from repro.pram.variants import WritePolicy, resolve_writes
 from repro.routing.engine import SynchronousEngine
 from repro.routing.fast_engine import resolve_engine_mode
+from repro.routing.flow_control import DeadlockError, resolve_flow_control
 from repro.routing.mesh_router import MeshRouter
 from repro.routing.packet import Packet
 from repro.topology.mesh import Mesh2D
@@ -71,6 +72,7 @@ class MeshEmulator(Emulator):
         rehash_factor: float = 8.0,
         max_rehashes: int = 8,
         node_capacity: int | None = None,
+        flow_control: str = "none",
         seed=None,
         validate: bool = True,
         engine: str = "auto",
@@ -90,6 +92,9 @@ class MeshEmulator(Emulator):
         self.rehash_factor = rehash_factor
         self.max_rehashes = max_rehashes
         self.node_capacity = node_capacity
+        self.flow_control = resolve_flow_control(
+            flow_control, node_capacity=node_capacity
+        )
         self.validate = validate
         self.rng = as_generator(seed)
         self.memory = SharedMemory(address_space)
@@ -129,6 +134,7 @@ class MeshEmulator(Emulator):
             seed=self.rng,
             slice_rows=self.slice_rows,
             node_capacity=self.node_capacity,
+            flow_control=self.flow_control,
             track_paths=(self.mode == "crcw" and engine_mode == "reference"),
             combine=(self.mode == "crcw"),
             engine=engine_mode,
@@ -183,7 +189,14 @@ class MeshEmulator(Emulator):
         for _attempt in range(self.max_rehashes + 1):
             router = self._make_router(engine_mode)
             packets = self._build_request_packets(step)
-            stats = router.route(None, None, max_steps=allotment, packets=packets)
+            try:
+                stats = router.route(
+                    None, None, max_steps=allotment, packets=packets
+                )
+            except DeadlockError as exc:
+                # A wedged attempt is just a failed attempt: a rehash
+                # (and fresh stage-1 rows) redraws the trajectories.
+                stats = exc.stats
             if stats.completed:
                 return router, packets, stats, rehashes
             if self.placement == "direct":

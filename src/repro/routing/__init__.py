@@ -11,6 +11,12 @@
 from repro.routing.batcher import bitonic_route, bitonic_stage_count
 from repro.routing.engine import RoutingTimeout, SynchronousEngine, route_with_function
 from repro.routing.fast_engine import FastPathEngine, resolve_engine_mode
+from repro.routing.flow_control import (
+    FLOW_CONTROL_MODES,
+    CreditState,
+    DeadlockError,
+    resolve_flow_control,
+)
 from repro.routing.greedy import GreedyRouter
 from repro.routing.leveled_router import LeveledRouter
 from repro.routing.linear import random_linear_instance, route_linear
@@ -33,6 +39,9 @@ from repro.routing.valiant import (
 
 __all__ = [
     "FIFOQueue",
+    "FLOW_CONTROL_MODES",
+    "CreditState",
+    "DeadlockError",
     "FastPathEngine",
     "FurthestFirstQueue",
     "GreedyMeshRouter",
@@ -56,6 +65,7 @@ __all__ = [
     "make_packets",
     "random_linear_instance",
     "resolve_engine_mode",
+    "resolve_flow_control",
     "route_linear",
     "route_with_function",
     "transpose_permutation",

@@ -35,6 +35,17 @@ are exempt — a delivered packet occupies no queue space — and when
 ``node_service_rate`` also caps departures, capacity-stalled links do not
 consume service slots: a node's slots go to links that can actually send.
 
+Plain backpressure can wedge crossing flows (two full nodes each waiting
+on the other); ``flow_control="credit"`` layers the deadlock-free
+credit/escape protocol of :mod:`repro.routing.flow_control` on top: a
+credit-starved queue head may advance into the crossed link's dedicated
+escape buffer, and escape occupants (absolute priority on their next
+link) drain back into bulk slots or forward along the escape chain.  On
+rank-monotone routes the escape channel-dependency graph is acyclic, so
+progress is guaranteed.  Either way, a step that moves nothing while
+packets are still queued raises :class:`DeadlockError` instead of
+spinning to ``max_steps``.
+
 Reference engine vs. fast path
 ------------------------------
 This module is the **reference** engine: maximally general (arbitrary
@@ -61,6 +72,11 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Hashable, Iterable, Optional, Sequence
 
+from repro.routing.flow_control import (
+    CreditState,
+    DeadlockError,
+    resolve_flow_control,
+)
 from repro.routing.metrics import RoutingStats, collect_stats
 from repro.routing.packet import Packet
 from repro.routing.queues import LinkQueue, fifo_factory
@@ -93,6 +109,21 @@ class SynchronousEngine:
         against simultaneous arrivals from many in-links (heads delivered
         at the target are exempt, see :meth:`_is_exit`).  Models the O(1)
         queue variants of §3.4 / [6].
+    flow_control:
+        ``"none"`` (default) is plain backpressure; ``"credit"`` adds
+        the deadlock-free escape channel of
+        :mod:`repro.routing.flow_control` (requires ``node_capacity``).
+    exit_dest:
+        Optional ``packet -> node key`` mapping a packet to the node at
+        which it exits the network, for the capacity exemption.  Needed
+        when ``packet.dest`` is not itself an engine node key (leveled
+        routes address destinations by row while the engine keys are
+        ``(pass, column, row)`` triples).  Defaults to ``packet.dest``.
+    capacity_key:
+        Optional canonicalization of link-target keys for capacity
+        accounting, for topologies where two engine keys alias one
+        physical node (the leveled wrap identifies ``(0, L, r)`` with
+        ``(1, 0, r)``).  Identity when omitted.
     track_paths:
         Record every visited node key in ``packet.trace`` (needed to fan
         replies back along combining trees).
@@ -105,12 +136,22 @@ class SynchronousEngine:
         combine: bool = False,
         node_capacity: int | None = None,
         node_service_rate: int | None = None,
+        flow_control: str = "none",
+        exit_dest: Callable[[Packet], Hashable] | None = None,
+        capacity_key: Callable[[Hashable], Hashable] | None = None,
         track_paths: bool = False,
     ) -> None:
         self.queue_factory = queue_factory
         self.combine = combine
         self.node_capacity = node_capacity
         self.node_service_rate = node_service_rate
+        self.flow_control = resolve_flow_control(
+            flow_control,
+            node_capacity=node_capacity,
+            node_service_rate=node_service_rate,
+        )
+        self.exit_dest = exit_dest
+        self.capacity_key = capacity_key
         self.track_paths = track_paths
 
     # ------------------------------------------------------------------
@@ -138,10 +179,15 @@ class SynchronousEngine:
         # transmission order — and thus RNG consumption, combining, and
         # service-rate tie-breaks — depend on hash order.
         active: dict[tuple[Hashable, Hashable], None] = {}
+        fc = CreditState() if self.flow_control == "credit" else None
+        # Packets that claimed an escape buffer at transmit time; place()
+        # turns the claim into an occupancy (or drops it on delivery).
+        pending_escape: dict[Packet, tuple[Hashable, Hashable]] = {}
 
         max_queue = 0
         max_node_load = 0
         combines = 0
+        deadlocked = False
         all_packets = list(packets)
         remaining = len(all_packets)
 
@@ -202,7 +248,14 @@ class SynchronousEngine:
                         place(q, t)
             w = next_hop(p)
             if w is None:
+                if fc is not None:
+                    pending_escape.pop(p, None)
                 deliver(p, t)
+            elif fc is not None and (el := pending_escape.pop(p, None)) is not None:
+                # The packet crossed link `el` into its escape buffer;
+                # it advances from there (skipping bulk queues and
+                # combining) until a credit frees up or it exits.
+                fc.occupy(el, p, (p.node, w))
             else:
                 enqueue(p, p.node, w)
 
@@ -216,7 +269,11 @@ class SynchronousEngine:
                 break
             if t >= max_steps:
                 break
-            if not active and not pending_times:
+            if (
+                not active
+                and not pending_times
+                and (fc is None or not fc.escape_at)
+            ):
                 raise RuntimeError(
                     f"{remaining} packets undeliverable: network drained at t={t}"
                 )
@@ -245,26 +302,77 @@ class SynchronousEngine:
                 # node transmit in the same step (N arrivals past a
                 # capacity-1 node).
                 reserved: dict[Hashable, int] = defaultdict(int)
+                ck = self.capacity_key
+                exit_dest = self.exit_dest
+
+                def exit_node(p: Packet) -> Hashable:
+                    return p.dest if exit_dest is None else exit_dest(p)
 
                 def stalled(key: tuple[Hashable, Hashable]) -> bool:
-                    dest_node = key[1]
+                    dest_node = key[1] if ck is None else ck(key[1])
                     if node_load[dest_node] + reserved[dest_node] < capacity:
                         return False
                     return not self._is_exit(queues[key], key)
 
-                def transmit(key: tuple[Hashable, Hashable]) -> None:
+                def transmit(
+                    key: tuple[Hashable, Hashable], reserve: bool = True
+                ) -> Packet:
+                    # reserve=False is the escape landing: the packet
+                    # crosses into the link's dedicated escape buffer,
+                    # so it claims no bulk slot at the target.
                     q = queues[key]
                     p = q.pop()
                     node_load[key[0]] -= 1
-                    if capacity is not None and p.dest != key[1]:
-                        reserved[key[1]] += 1
+                    if reserve and capacity is not None and exit_node(p) != key[1]:
+                        reserved[key[1] if ck is None else ck(key[1])] += 1
                     p.node = key[1]
                     p.hops += 1
                     arrivals.append(p)
                     if len(q) == 0:
                         newly_empty.append(key)
+                    return p
 
-                if self.node_service_rate is None:
+                if fc is not None:
+                    # Escape subphase: occupants advance first (absolute
+                    # priority on their next link), in occupancy order.
+                    # `used` then blocks the bulk heads of those links.
+                    used: set[tuple[Hashable, Hashable]] = set()
+                    for el in list(fc.escape_at):
+                        p = fc.escape_at[el]
+                        nl = fc.escape_next[el]
+                        if nl in used:
+                            fc.stall()
+                            continue
+                        w = nl[1]
+                        if exit_node(p) != w:
+                            a = w if ck is None else ck(w)
+                            if node_load[a] + reserved[a] < capacity:
+                                reserved[a] += 1  # drain back into bulk
+                            elif fc.available(nl):
+                                fc.claim(nl)
+                                pending_escape[p] = nl
+                            else:
+                                fc.stall()
+                                continue
+                        used.add(nl)
+                        fc.vacate(el)
+                        p.node = w
+                        p.hops += 1
+                        arrivals.append(p)
+                    # Bulk subphase: credit-starved heads take the escape
+                    # buffer of the link they cross instead of stalling.
+                    for key in active:
+                        if key in used:
+                            fc.stall()
+                            continue
+                        if not stalled(key):
+                            transmit(key)
+                        elif fc.available(key):
+                            fc.claim(key)
+                            pending_escape[transmit(key, reserve=False)] = key
+                        else:
+                            fc.stall()
+                elif self.node_service_rate is None:
                     for key in active:
                         if stalled(key):
                             continue  # backpressure: hold the link this step
@@ -291,6 +399,12 @@ class SynchronousEngine:
             for key in newly_empty:
                 active.pop(key, None)
 
+            if not arrivals and not pending_times:
+                # No transmission and no future injections: the state is
+                # provably static forever.  Report instead of spinning.
+                deadlocked = True
+                break
+
             t += 1
             for p in arrivals:
                 place(p, t)
@@ -303,22 +417,38 @@ class SynchronousEngine:
             completed=completed,
             combines=combines,
             max_node_load=max_node_load,
+            credits_stalled=fc.credits_stalled if fc is not None else 0,
+            escape_hops=fc.escape_hops if fc is not None else 0,
         )
+        if deadlocked:
+            raise DeadlockError(
+                stats,
+                detail=(
+                    f"no progress at t={t} with {remaining} packets queued "
+                    f"over {len(active)} links"
+                    + (
+                        f" and {len(fc.escape_at)} escape buffers"
+                        if fc is not None and fc.escape_at
+                        else ""
+                    )
+                ),
+            )
         if not completed and raise_on_timeout:
             raise RoutingTimeout(stats)
         return stats
 
-    @staticmethod
-    def _is_exit(q: LinkQueue, key) -> bool:
+    def _is_exit(self, q: LinkQueue, key) -> bool:
         """Heads destined to final delivery never stall on capacity.
 
         A packet that will be *delivered* at the target node does not
         occupy queue space there, so backpressure must let it through;
         we approximate by checking whether the head's destination equals
-        the link's target node.
+        the link's target node (via ``exit_dest`` when the two live in
+        different key spaces).
         """
         head = q.peek()
-        return head.dest == key[1]
+        dest = head.dest if self.exit_dest is None else self.exit_dest(head)
+        return dest == key[1]
 
 
 def route_with_function(
@@ -330,6 +460,7 @@ def route_with_function(
     combine: bool = False,
     node_capacity: int | None = None,
     node_service_rate: int | None = None,
+    flow_control: str = "none",
     track_paths: bool = False,
 ) -> RoutingStats:
     """One-shot convenience wrapper around :class:`SynchronousEngine`."""
@@ -338,6 +469,7 @@ def route_with_function(
         combine=combine,
         node_capacity=node_capacity,
         node_service_rate=node_service_rate,
+        flow_control=flow_control,
         track_paths=track_paths,
     )
     return engine.run(list(packets), next_hop, max_steps=max_steps)

@@ -58,6 +58,11 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.routing.engine import RoutingTimeout
+from repro.routing.flow_control import (
+    CreditState,
+    DeadlockError,
+    resolve_flow_control,
+)
 from repro.routing.metrics import RoutingStats, collect_stats
 from repro.routing.packet import Packet
 
@@ -98,6 +103,12 @@ class FastPathEngine:
     caps departures per node per step, with capacity-stalled links never
     consuming a service slot — both bit-for-bit the semantics of
     :class:`~repro.routing.engine.SynchronousEngine`.
+    ``flow_control="credit"`` adds the deadlock-free credit/escape
+    protocol of :mod:`repro.routing.flow_control` to the per-event loop
+    (escape buffers are keyed by interned link index — 1:1 with the
+    reference engine's ``(u, w)`` link keys), and a no-progress step
+    with queued packets raises
+    :class:`~repro.routing.flow_control.DeadlockError` in both engines.
 
     The capacity exemption compares a head's *final node id* against the
     link's target, which equals the reference engine's ``head.dest ==
@@ -113,11 +124,17 @@ class FastPathEngine:
         track_paths: bool = False,
         node_capacity: int | None = None,
         node_service_rate: int | None = None,
+        flow_control: str = "none",
     ) -> None:
         self.combine = combine
         self.track_paths = track_paths
         self.node_capacity = node_capacity
         self.node_service_rate = node_service_rate
+        self.flow_control = resolve_flow_control(
+            flow_control,
+            node_capacity=node_capacity,
+            node_service_rate=node_service_rate,
+        )
 
     def run(
         self,
@@ -177,6 +194,10 @@ class FastPathEngine:
         combine = self.combine
         capacity = self.node_capacity
         service_rate = self.node_service_rate
+        fc = CreditState() if self.flow_control == "credit" else None
+        # Packet index -> escape link claimed at transmit time; place()
+        # turns the claim into an occupancy (or drops it on delivery).
+        pending_escape: dict[int, int] = {}
         use_heap = priorities is not None
         if use_heap and on_arrival is not None:
             raise ValueError(
@@ -444,10 +465,23 @@ class FastPathEngine:
                         place(len(all_packets) - 1, t)
             li = next(iters[i], None)
             if li is None:
+                if fc is not None:
+                    pending_escape.pop(i, None)
                 deliver(i, t)
                 return
             if use_heap:
+                # Consumed even on an escape landing: the kb iterator
+                # must stay aligned with the link iterator (an escape
+                # crossing simply never enters a heap).
                 kb = next(kb_iters[i])
+            if fc is not None:
+                el = pending_escape.pop(i, None)
+                if el is not None:
+                    # The packet crossed link `el` into its escape
+                    # buffer; it advances from there (skipping bulk
+                    # queues and combining) until a credit frees up.
+                    fc.occupy(el, i, li)
+                    return
             if combine:
                 key = ckeys[i]
                 if key is not None:
@@ -488,6 +522,7 @@ class FastPathEngine:
                 max_node_load = load
 
         t = 0
+        deadlocked = False
         simple = capacity is None and service_rate is None
         if not simple:
             # Constrained transmission state and helpers, hoisted out of
@@ -498,6 +533,7 @@ class FastPathEngine:
             arrivals: list[int] = []
             arrivals_append = arrivals.append
             reserved: dict[int, int] = {}
+            used: set[int] = set()
 
             def stalled(li: int) -> bool:
                 w = link_dst[li]
@@ -506,7 +542,10 @@ class FastPathEngine:
                 head = (q_heap[li][0] & idx_mask) if use_heap else q_head[li]
                 return dest_id[head] != w
 
-            def transmit(li: int) -> None:
+            def transmit(li: int, reserve: bool = True) -> int:
+                # reserve=False is the escape landing: the packet
+                # crosses into the link's dedicated escape buffer, so
+                # it claims no bulk slot at the target.
                 if use_heap:
                     i = heappop(q_heap[li]) & idx_mask
                 else:
@@ -521,13 +560,14 @@ class FastPathEngine:
                         index = cindex[li]
                         if index.get(key) == i:
                             del index[key]
-                if capacity is not None:
+                if reserve and capacity is not None:
                     w = link_dst[li]
                     if dest_id[i] != w:
                         reserved[w] = reserved.get(w, 0) + 1
                 node_load[link_src[li]] -= 1
                 pos[i] += 1
                 arrivals_append(i)
+                return i
 
         while remaining > 0:
             while pending_times and pending_times[-1] <= t:
@@ -537,7 +577,11 @@ class FastPathEngine:
                 break
             if t >= max_steps:
                 break
-            if not active and not pending_times:
+            if (
+                not active
+                and not pending_times
+                and (fc is None or not fc.escape_at)
+            ):
                 raise RuntimeError(
                     f"{remaining} packets undeliverable: network drained at t={t}"
                 )
@@ -548,6 +592,7 @@ class FastPathEngine:
             else:
                 arrivals.clear()
                 reserved.clear()
+                used.clear()
             if simple and not use_heap:
                 for li in active:
                     i = q_head[li]
@@ -578,7 +623,46 @@ class FastPathEngine:
                     pos[i] += 1
                     arrivals_append(i)
             else:
-                if service_rate is None:
+                if fc is not None:
+                    # Escape subphase: occupants advance first (absolute
+                    # priority on their next link), in occupancy order;
+                    # `used` then blocks the bulk heads of those links.
+                    # Mirrors the reference engine statement for
+                    # statement — same orders, same counters.
+                    for el in list(fc.escape_at):
+                        i = fc.escape_at[el]
+                        nl = fc.escape_next[el]
+                        if nl in used:
+                            fc.stall()
+                            continue
+                        w = link_dst[nl]
+                        if dest_id[i] != w:
+                            if node_load[w] + reserved.get(w, 0) < capacity:
+                                reserved[w] = reserved.get(w, 0) + 1
+                            elif fc.available(nl):
+                                fc.claim(nl)
+                                pending_escape[i] = nl
+                            else:
+                                fc.stall()
+                                continue
+                        used.add(nl)
+                        fc.vacate(el)
+                        pos[i] += 1
+                        arrivals_append(i)
+                    # Bulk subphase: credit-starved heads take the
+                    # escape buffer of the link they cross.
+                    for li in active:
+                        if li in used:
+                            fc.stall()
+                            continue
+                        if not stalled(li):
+                            transmit(li)
+                        elif fc.available(li):
+                            fc.claim(li)
+                            pending_escape[transmit(li, reserve=False)] = li
+                        else:
+                            fc.stall()
+                elif service_rate is None:
                     for li in active:
                         if stalled(li):
                             continue  # backpressure: hold the link this step
@@ -601,8 +685,14 @@ class FastPathEngine:
                             slots -= 1
             active = [li for li in active if q_len[li]]
 
+            if not arrivals and not pending_times:
+                # No transmission and no future injections: the state is
+                # provably static forever.  Report instead of spinning.
+                deadlocked = True
+                break
+
             t += 1
-            if on_arrival is not None:
+            if on_arrival is not None or fc is not None:
                 for i in arrivals:
                     place(i, t)
             elif use_heap:
@@ -716,7 +806,22 @@ class FastPathEngine:
             completed=completed,
             combines=combines,
             max_node_load=max_node_load,
+            credits_stalled=fc.credits_stalled if fc is not None else 0,
+            escape_hops=fc.escape_hops if fc is not None else 0,
         )
+        if deadlocked:
+            raise DeadlockError(
+                stats,
+                detail=(
+                    f"no progress at t={t} with {remaining} packets queued "
+                    f"over {len(active)} links"
+                    + (
+                        f" and {len(fc.escape_at)} escape buffers"
+                        if fc is not None and fc.escape_at
+                        else ""
+                    )
+                ),
+            )
         if not completed and raise_on_timeout:
             raise RoutingTimeout(stats)
         return stats

@@ -9,7 +9,11 @@ population's paths can be precompiled and replayed on the fast engine
 (``engine="auto" | "fast" | "reference"``): meshes, linear arrays, and
 hypercubes get fully vectorized builders, any other topology walks
 ``route_next`` once per packet up front.  ``node_capacity`` backpressure
-is honoured by both engines.
+is honoured by both engines, and ``flow_control="credit"`` enables the
+deadlock-free credit/escape protocol — sound for dimension-ordered
+routes (mesh, linear array, hypercube), whose link ranks are monotone
+(:mod:`repro.routing.flow_control` invariant I3); a topology with cyclic
+greedy paths may instead surface a ``DeadlockError`` diagnostic.
 """
 
 from __future__ import annotations
@@ -35,14 +39,18 @@ class GreedyRouter:
         topology: Topology,
         *,
         node_capacity: int | None = None,
+        flow_control: str = "none",
         engine: str = "auto",
     ) -> None:
         self.topology = topology
         self.node_capacity = node_capacity
+        self.flow_control = flow_control
         self.engine_mode = engine
         resolve_engine_mode(engine)  # validate eagerly
         self.engine = SynchronousEngine(
-            queue_factory=fifo_factory, node_capacity=node_capacity
+            queue_factory=fifo_factory,
+            node_capacity=node_capacity,
+            flow_control=flow_control,
         )
 
     def _next_hop(self, p: Packet):
@@ -78,7 +86,9 @@ class GreedyRouter:
         topo = self.topology
         sources = [p.source for p in packets]
         dests = [p.dest for p in packets]
-        fast = FastPathEngine(node_capacity=self.node_capacity)
+        fast = FastPathEngine(
+            node_capacity=self.node_capacity, flow_control=self.flow_control
+        )
         kwargs: dict = {}
         if isinstance(topo, Mesh2D):
             plan = compile_mesh(topo).three_stage(sources, dests)

@@ -50,6 +50,13 @@ class LeveledRouter:
     (default) resolves via the ``REPRO_ENGINE`` environment variable and
     falls back to the fast path.  Both produce identical results under a
     fixed seed.
+
+    ``node_capacity`` bounds each node's resident packets (leveled paths
+    move strictly forward in (pass, level), so plain backpressure cannot
+    cycle here), and ``flow_control="credit"`` adds the escape channel
+    of :mod:`repro.routing.flow_control` for O(1)-queue runs.  Capacity
+    accounting identifies the wrap aliases ``(0, L, r)`` / ``(1, 0, r)``
+    as one physical node, matching the compiled ids.
     """
 
     def __init__(
@@ -59,6 +66,8 @@ class LeveledRouter:
         intermediate: Literal["coin", "node"] = "coin",
         seed=None,
         combine: bool = False,
+        node_capacity: int | None = None,
+        flow_control: str = "none",
         track_paths: bool = False,
         engine: str = "auto",
     ) -> None:
@@ -68,6 +77,8 @@ class LeveledRouter:
         self.intermediate = intermediate
         self.rng = as_generator(seed)
         self.combine = combine
+        self.node_capacity = node_capacity
+        self.flow_control = flow_control
         self.track_paths = track_paths
         self.engine_mode = engine
         resolve_engine_mode(engine)  # validate eagerly
@@ -76,9 +87,19 @@ class LeveledRouter:
         #: reference run).  The emulation layer reuses these to build
         #: reply itineraries without re-encoding traces.
         self.last_fast_paths: list[list[int]] | None = None
+        L = net.num_levels
         self.engine = SynchronousEngine(
             queue_factory=fifo_factory,
             combine=combine,
+            node_capacity=node_capacity,
+            flow_control=flow_control,
+            # Capacity bookkeeping needs the two key spaces reconciled:
+            # a packet exits at the (pass, column, row) key (1, L, dest)
+            # while packet.dest is the bare row, and the wrap identifies
+            # (0, L, r) with (1, 0, r) as one physical node — exactly
+            # how the compiled ids see it (id L*N + r).
+            exit_dest=lambda p: (1, L, p.dest),
+            capacity_key=lambda k: (1, 0, k[2]) if k[0] == 0 and k[1] == L else k,
             track_paths=track_paths,
         )
 
@@ -162,7 +183,12 @@ class LeveledRouter:
         else:
             paths = compiled.build_paths(sources, dests, coins=coins)
         self.last_fast_paths = paths
-        fast = FastPathEngine(combine=self.combine, track_paths=self.track_paths)
+        fast = FastPathEngine(
+            combine=self.combine,
+            track_paths=self.track_paths,
+            node_capacity=self.node_capacity,
+            flow_control=self.flow_control,
+        )
         return fast.run(
             packets,
             paths,

@@ -4,16 +4,27 @@ The paper proves Theorem 3.1 by reducing each stage to this problem: node
 i holds k_i packets (Σ k_i = n'), each packet picks a destination on the
 line, and contention is resolved furthest-destination-first.  The claimed
 bound is n' + o(n) steps w.h.p. for random destinations.
+
+Like the routers, :func:`route_linear` takes ``engine="auto" | "fast" |
+"reference"``: the monotone walks compile to padded integer trajectories
+(:func:`repro.topology.compiled.linear_paths`) and the push-time
+furthest-destination-first priorities are a closed form of
+``|dest - node|`` along the walk, so the fast engine replays the
+reference queue dynamics bit for bit.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.routing.engine import SynchronousEngine
+from repro.routing.fast_engine import FastPathEngine, resolve_engine_mode
 from repro.routing.metrics import RoutingStats
 from repro.routing.packet import Packet, make_packets
 from repro.routing.queues import fifo_factory, furthest_first_factory
+from repro.topology.compiled import linear_paths
 from repro.topology.mesh import LinearArray
 from repro.util.rng import as_generator
 
@@ -25,6 +36,7 @@ def route_linear(
     *,
     discipline: str = "furthest_first",
     max_steps: int | None = None,
+    engine: str = "auto",
 ) -> RoutingStats:
     """Route packets on a linear array of *n* nodes.
 
@@ -35,25 +47,47 @@ def route_linear(
         array.validate_node(int(x))
     if max_steps is None:
         max_steps = 50 * n + 200
+    if discipline not in ("furthest_first", "fifo"):
+        raise ValueError(f"unknown discipline {discipline!r}")
+    mode = resolve_engine_mode(engine)
+
+    origins = list(map(int, origins))
+    dests = list(map(int, dests))
+    packets = make_packets(origins, dests)
+    if mode == "fast":
+        plan = linear_paths(origins, dests)
+        priorities = None
+        if discipline == "furthest_first":
+            # Push-time priority of the k-th crossing: distance left
+            # from the node the packet is pushed at — |dest - ids[:, k]|.
+            priorities = np.abs(
+                np.asarray(dests, dtype=np.int64)[:, None] - plan.ids[:, :-1]
+            )
+        return FastPathEngine().run(
+            packets,
+            plan.ids,
+            num_nodes=n,
+            max_steps=max_steps,
+            path_lengths=plan.lengths,
+            priorities=priorities,
+        )
 
     def priority(p: Packet) -> float:
         return abs(p.dest - p.node)
 
-    if discipline == "furthest_first":
-        factory = furthest_first_factory(priority)
-    elif discipline == "fifo":
-        factory = fifo_factory
-    else:
-        raise ValueError(f"unknown discipline {discipline!r}")
+    factory = (
+        furthest_first_factory(priority)
+        if discipline == "furthest_first"
+        else fifo_factory
+    )
 
     def next_hop(p: Packet):
         if p.node == p.dest:
             return None
         return array.route_next(p.node, p.dest)
 
-    packets = make_packets(list(map(int, origins)), list(map(int, dests)))
-    engine = SynchronousEngine(queue_factory=factory)
-    return engine.run(packets, next_hop, max_steps=max_steps)
+    ref = SynchronousEngine(queue_factory=factory)
+    return ref.run(packets, next_hop, max_steps=max_steps)
 
 
 def random_linear_instance(

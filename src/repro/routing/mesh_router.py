@@ -60,6 +60,7 @@ def _run_fast_mesh(
     combine: bool = False,
     track_paths: bool = False,
     node_capacity: int | None = None,
+    flow_control: str = "none",
 ):
     """Compile mesh trajectories and replay them on the fast engine.
 
@@ -77,6 +78,7 @@ def _run_fast_mesh(
         combine=combine,
         track_paths=track_paths,
         node_capacity=node_capacity,
+        flow_control=flow_control,
     )
     # Arithmetic link ids only pay off in the vectorized batch mode; a
     # capacity-constrained run takes the per-event loop, which ignores
@@ -109,6 +111,7 @@ class MeshRouter:
         slice_rows: int | None = None,
         discipline: str = "furthest_first",
         node_capacity: int | None = None,
+        flow_control: str = "none",
         track_paths: bool = False,
         combine: bool = False,
         engine: str = "auto",
@@ -128,6 +131,7 @@ class MeshRouter:
             raise ValueError(f"unknown discipline {discipline!r}")
         self.discipline = discipline
         self.node_capacity = node_capacity
+        self.flow_control = flow_control
         self.combine = combine
         self.track_paths = track_paths
         self.engine_mode = engine
@@ -142,6 +146,7 @@ class MeshRouter:
         self.engine = SynchronousEngine(
             queue_factory=factory,
             node_capacity=node_capacity,
+            flow_control=flow_control,
             track_paths=track_paths,
             combine=combine,
         )
@@ -225,6 +230,7 @@ class MeshRouter:
             combine=self.combine,
             track_paths=self.track_paths,
             node_capacity=self.node_capacity,
+            flow_control=self.flow_control,
         )
         self.last_fast_paths = plan.ids
         return stats
@@ -252,14 +258,18 @@ class GreedyMeshRouter:
         mesh: Mesh2D,
         *,
         node_capacity: int | None = None,
+        flow_control: str = "none",
         engine: str = "auto",
     ) -> None:
         self.mesh = mesh
         self.node_capacity = node_capacity
+        self.flow_control = flow_control
         self.engine_mode = engine
         resolve_engine_mode(engine)  # validate eagerly
         self.engine = SynchronousEngine(
-            queue_factory=fifo_factory, node_capacity=node_capacity
+            queue_factory=fifo_factory,
+            node_capacity=node_capacity,
+            flow_control=flow_control,
         )
 
     def _next_hop(self, p: Packet):
@@ -283,6 +293,7 @@ class GreedyMeshRouter:
                 packets,
                 max_steps=max_steps,
                 node_capacity=self.node_capacity,
+                flow_control=self.flow_control,
             )
             return stats
         return self.engine.run(packets, self._next_hop, max_steps=max_steps)

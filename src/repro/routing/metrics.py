@@ -31,6 +31,12 @@ class RoutingStats:
     #: peak number of packets resident at any single node (sum of its
     #: outgoing link queues); the per-processor buffer requirement
     max_node_load: int = 0
+    #: (link, step) pairs where credit flow control held a transmission
+    #: back — a queue head or escape occupant that could not move
+    credits_stalled: int = 0
+    #: hops taken through dedicated per-link escape buffers (the
+    #: deadlock-free channel of ``flow_control="credit"``)
+    escape_hops: int = 0
 
     @property
     def routing_time(self) -> int:
@@ -78,6 +84,8 @@ def collect_stats(
     completed: bool,
     combines: int = 0,
     max_node_load: int = 0,
+    credits_stalled: int = 0,
+    escape_hops: int = 0,
 ) -> RoutingStats:
     """Assemble a :class:`RoutingStats` from delivered packets."""
     delivered = [p for p in packets if p.delivered]
@@ -91,4 +99,6 @@ def collect_stats(
         hops=[p.hops for p in delivered],
         combines=combines,
         max_node_load=max_node_load,
+        credits_stalled=credits_stalled,
+        escape_hops=escape_hops,
     )

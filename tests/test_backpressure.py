@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 from repro.routing import (
+    DeadlockError,
     FastPathEngine,
     GreedyMeshRouter,
     GreedyRouter,
@@ -108,27 +109,34 @@ class TestServiceSlotInteraction:
     def test_reference_ready_link_gets_the_slot(self):
         pkts = self._packets()
         engine = SynchronousEngine(node_capacity=1, node_service_rate=1)
-        stats = engine.run(pkts, self._next_hop, max_steps=10)
-        assert not stats.completed  # the deadlocked pair never resolves
+        # The deadlocked pair never resolves: the detector reports it
+        # (with the run's stats attached) instead of spinning.
+        with pytest.raises(DeadlockError) as exc:
+            engine.run(pkts, self._next_hop, max_steps=10)
+        assert not exc.value.stats.completed
         assert pkts[2].arrived_at == 1  # but the ready link sent at once
 
     def test_fast_ready_link_gets_the_slot(self):
         pkts = self._packets()
         engine = FastPathEngine(node_capacity=1, node_service_rate=1)
-        stats = engine.run(
-            pkts, list(self.PATHS.values()), num_nodes=10, max_steps=10
-        )
-        assert not stats.completed
+        with pytest.raises(DeadlockError) as exc:
+            engine.run(pkts, list(self.PATHS.values()), num_nodes=10, max_steps=10)
+        assert not exc.value.stats.completed
         assert pkts[2].arrived_at == 1
 
     def test_engines_agree_exactly(self):
-        ref = SynchronousEngine(node_capacity=1, node_service_rate=1).run(
-            self._packets(), self._next_hop, max_steps=10
-        )
-        fast = FastPathEngine(node_capacity=1, node_service_rate=1).run(
-            self._packets(), list(self.PATHS.values()), num_nodes=10, max_steps=10
-        )
-        assert_stats_equal(fast, ref)
+        with pytest.raises(DeadlockError) as ref_exc:
+            SynchronousEngine(node_capacity=1, node_service_rate=1).run(
+                self._packets(), self._next_hop, max_steps=10
+            )
+        with pytest.raises(DeadlockError) as fast_exc:
+            FastPathEngine(node_capacity=1, node_service_rate=1).run(
+                self._packets(),
+                list(self.PATHS.values()),
+                num_nodes=10,
+                max_steps=10,
+            )
+        assert_stats_equal(fast_exc.value.stats, ref_exc.value.stats)
 
 
 def _run_both(make_router, sources, dests, max_steps):
@@ -230,19 +238,46 @@ class TestCapacityPropertySweep:
         assert stats.completed
         assert stats.max_node_load <= cap
 
-    def test_tight_caps_can_deadlock_but_agree(self):
-        """Too-tight capacity deadlocks crossing flows; both engines must
-        report the identical (incomplete) outcome rather than diverge."""
+    def test_tight_caps_deadlock_detected_and_agree(self):
+        """Too-tight capacity wedges crossing flows; both engines must
+        raise the deadlock diagnostic with identical attached stats
+        (instead of spinning to max_steps, the pre-detector behavior)."""
         rng = np.random.default_rng(1)
         mesh = Mesh2D.square(8)
         n = mesh.num_nodes
         dests = rng.choice(rng.choice(n, size=4, replace=False), size=n)
-        fast = GreedyMeshRouter(mesh, node_capacity=2, engine="fast").route(
-            np.arange(n), dests, max_steps=500
-        )
-        ref = GreedyMeshRouter(mesh, node_capacity=2, engine="reference").route(
-            np.arange(n), dests, max_steps=500
-        )
+        with pytest.raises(DeadlockError) as fast_exc:
+            GreedyMeshRouter(mesh, node_capacity=2, engine="fast").route(
+                np.arange(n), dests, max_steps=500
+            )
+        with pytest.raises(DeadlockError) as ref_exc:
+            GreedyMeshRouter(mesh, node_capacity=2, engine="reference").route(
+                np.arange(n), dests, max_steps=500
+            )
+        fast = fast_exc.value.stats
         assert not fast.completed
         assert fast.max_node_load <= 2
-        assert_stats_equal(fast, ref)
+        assert fast.steps < 500  # detected, not timed out
+        assert_stats_equal(fast, ref_exc.value.stats)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("cap", [1, 2, 3])
+    def test_credit_flow_control_unwedges_tight_caps(self, seed, cap):
+        """The Corollary 3.3 regime: capacities that deadlock (or would
+        risk it) under plain backpressure complete under the credit
+        escape protocol, keep the capacity invariant, and stay
+        bit-identical across engines."""
+        rng = np.random.default_rng(seed)
+        mesh = Mesh2D.square(8)
+        n = mesh.num_nodes
+        dests = rng.choice(rng.choice(n, size=4, replace=False), size=n)
+        stats = _run_both(
+            lambda eng: GreedyMeshRouter(
+                mesh, node_capacity=cap, flow_control="credit", engine=eng
+            ),
+            np.arange(n),
+            dests,
+            8000,
+        )
+        assert stats.completed
+        assert stats.max_node_load <= cap

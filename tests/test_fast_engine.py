@@ -50,6 +50,8 @@ STAT_FIELDS = (
     "completed",
     "combines",
     "max_node_load",
+    "credits_stalled",
+    "escape_hops",
 )
 
 
