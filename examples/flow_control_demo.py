@@ -1,0 +1,44 @@
+"""Credit flow control demo: surviving the crossing-flow wedge.
+
+Two packet streams cross on a linear array whose nodes hold only one
+packet each.  Plain backpressure (``flow_control="none"``) wedges: each
+full node waits for the other to free a slot, and the engines report a
+:class:`DeadlockError` instead of spinning.  The credit/escape protocol
+of Corollary 3.3 (``flow_control="credit"``) routes the same traffic to
+completion with ``max_node_load <= node_capacity`` intact.
+
+The walk-through version of this scenario, with the protocol's
+invariants I1-I4, lives in ``docs/flow_control.md``.
+
+Run:  python examples/flow_control_demo.py
+"""
+
+from repro.routing import DeadlockError, GreedyRouter
+from repro.topology import LinearArray
+
+arr = LinearArray(6)
+sources = [1, 2, 3, 4]
+dests = [5, 0, 5, 0]  # two eastbound, two westbound: crossing flows
+
+# 1. Plain backpressure with capacity-1 nodes: the crossing flows wedge.
+plain = GreedyRouter(arr, node_capacity=1, flow_control="none")
+try:
+    plain.route(sources, dests, max_steps=10_000)
+    raise AssertionError("expected the crossing flows to deadlock")
+except DeadlockError as exc:
+    print(f"flow_control='none':   {exc.stats}")
+    print(f"  -> deadlock detected at step {exc.stats.steps} "
+          f"({exc.stats.delivered}/{exc.stats.total_packets} delivered)")
+
+# 2. The credit/escape protocol: same network, same traffic, completes.
+credit = GreedyRouter(arr, node_capacity=1, flow_control="credit")
+stats = credit.route(sources, dests, max_steps=10_000)
+print(f"flow_control='credit': {stats}")
+print(f"  -> escape hops: {stats.escape_hops}, "
+      f"credit stalls: {stats.credits_stalled}, "
+      f"max node load: {stats.max_node_load}")
+
+assert stats.completed
+assert stats.max_node_load <= 1   # invariant I1: O(1) buffers held
+assert stats.escape_hops >= 1     # the wedge was broken via escape
+print("OK: credit flow control routed the crossing flows deadlock-free.")

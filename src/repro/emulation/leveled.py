@@ -73,7 +73,8 @@ class LeveledEmulator(Emulator):
         enables the deadlock-free escape protocol of
         :mod:`repro.routing.flow_control`, and a wedged attempt
         (``DeadlockError``) is treated like a missed allotment: rehash
-        and retry.
+        and retry.  On the fast engine, capacity requests take the
+        vectorized constrained-batch mode (batch credit accounting).
     engine:
         Routing simulator: "auto" (default; compiled fast path, see
         :mod:`repro.routing.fast_engine`), "fast", or "reference".  Both

@@ -56,7 +56,36 @@ def locality_slice_rows(delta: int) -> int:
 
 
 class MeshEmulator(Emulator):
-    """Two-phase PRAM emulation on a mesh-connected computer."""
+    """Two-phase PRAM emulation on a mesh-connected computer.
+
+    Parameters
+    ----------
+    mode:
+        ``"erew"`` (exclusive accesses, Theorem 3.2) or ``"crcw"``
+        (combining + reply fan-out along the merge trees).
+    write_policy / combine_op:
+        Concurrent-write resolution (CRCW variants).
+    placement:
+        ``"hash"`` (Karlin–Upfal hashed memory, the default) or
+        ``"direct"`` (address a lives at node a — the locality mode of
+        Theorem 3.3, see :func:`locality_slice_rows`).
+    slice_rows:
+        Stage-0 slice height forwarded to the router.
+    hash_c / rehash_factor / max_rehashes:
+        Hash-family degree scaling and the §2.1 rehash-on-timeout loop.
+    node_capacity:
+        Per-node buffer bound for the *request* phase (EREW replies
+        too; CRCW reply fan-out always runs unconstrained in both
+        engines).  On the fast engine, capacity requests take the
+        vectorized constrained-batch mode.
+    flow_control:
+        ``"none"`` or ``"credit"`` (requires ``node_capacity``): the
+        deadlock-free escape protocol; a wedged attempt is treated as a
+        failed attempt and rehashed.
+    engine:
+        ``"auto"`` (default), ``"fast"``, or ``"reference"`` for every
+        routing phase; identical step costs under a fixed seed.
+    """
 
     def __init__(
         self,

@@ -75,6 +75,7 @@ from typing import Callable, Hashable, Iterable, Optional, Sequence
 from repro.routing.flow_control import (
     CreditState,
     DeadlockError,
+    no_progress_detail,
     resolve_flow_control,
 )
 from repro.routing.metrics import RoutingStats, collect_stats
@@ -422,16 +423,7 @@ class SynchronousEngine:
         )
         if deadlocked:
             raise DeadlockError(
-                stats,
-                detail=(
-                    f"no progress at t={t} with {remaining} packets queued "
-                    f"over {len(active)} links"
-                    + (
-                        f" and {len(fc.escape_at)} escape buffers"
-                        if fc is not None and fc.escape_at
-                        else ""
-                    )
-                ),
+                stats, detail=no_progress_detail(t, remaining, len(active), fc)
             )
         if not completed and raise_on_timeout:
             raise RoutingTimeout(stats)

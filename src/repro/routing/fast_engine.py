@@ -34,6 +34,23 @@ hashable node keys and a per-hop ``next_hop`` callback:
   capacity/service-rate arbitration reserves arrival slots during the
   transmission phase exactly like the reference engine.
 
+The engine picks one of three execution modes per run (recorded in
+``last_run_mode`` for tests and diagnostics):
+
+* ``"batch"`` — the fully vectorized unconstrained mode: whole
+  transmission and arrival phases as numpy array operations;
+* ``"batch-constrained"`` — the vectorized *constrained* mode for
+  ``node_capacity`` runs (``flow_control="none"`` or ``"credit"``):
+  per-node credit counters are updated with segment reductions
+  (``np.add.at``), escape-buffer occupancy lives in a parallel table
+  keyed by compiled link id, and each step's transmission phase splits
+  the active links into a provably-unconstrained majority (resolved
+  vectorized) and a small contended residue replayed in exact
+  reference order — see :meth:`FastPathEngine._run_batch`;
+* ``"event"`` — the per-event compiled loop, kept for dynamic
+  injection (``on_arrival``), ``node_service_rate``, and ragged
+  (non-rectangular) trajectory lists.
+
 Because routers pre-draw all randomness (coin matrices, intermediate
 nodes/rows) *before* choosing an engine, the fast and reference engines
 consume identical random bits and produce identical
@@ -61,6 +78,7 @@ from repro.routing.engine import RoutingTimeout
 from repro.routing.flow_control import (
     CreditState,
     DeadlockError,
+    no_progress_detail,
     resolve_flow_control,
 )
 from repro.routing.metrics import RoutingStats, collect_stats
@@ -113,8 +131,19 @@ class FastPathEngine:
     The capacity exemption compares a head's *final node id* against the
     link's target, which equals the reference engine's ``head.dest ==
     link target`` check on every flat integer topology (mesh, linear
-    array, hypercube, shuffle, star).  Leveled tuple-keyed routes never
-    use capacity, so the difference in key spaces is moot there.
+    array, hypercube, shuffle, star).  Leveled routes compare
+    position-encoded ids, which bakes in the reference engine's
+    ``exit_dest`` / ``capacity_key`` reconciliation: the wrap aliases
+    ``(0, L, r)`` and ``(1, 0, r)`` share one id, so capacity is
+    accounted per physical node exactly as the tuple-keyed engine does.
+
+    Attributes
+    ----------
+    last_run_mode:
+        After each :meth:`run`: ``"batch"`` (vectorized, unconstrained),
+        ``"batch-constrained"`` (vectorized with ``node_capacity`` /
+        credits), or ``"event"`` (per-event compiled loop).  Tests use
+        this to assert that a configuration takes the intended path.
     """
 
     def __init__(
@@ -135,6 +164,8 @@ class FastPathEngine:
             node_capacity=node_capacity,
             node_service_rate=node_service_rate,
         )
+        #: execution mode of the most recent run() — see class docstring
+        self.last_run_mode: str | None = None
 
     def run(
         self,
@@ -176,11 +207,16 @@ class FastPathEngine:
         ``node_key`` / ``trace_key`` decode ``(position, node_id)`` into
         the hashable keys written back to ``packet.node`` /
         ``packet.trace`` (identity when omitted).  ``links`` — a
-        precompiled ``(link_id_matrix, link_src)`` pair aligned with a
+        precompiled ``(link_id_matrix, link_src)`` pair or
+        ``(link_id_matrix, link_src, link_dst)`` triple aligned with a
         rectangular *paths* matrix (e.g. the arithmetic mesh encoding of
-        :meth:`repro.topology.compiled.CompiledMesh2D.link_matrix`) —
-        lets the vectorized batch mode skip its np.unique interning pass;
-        other modes ignore it.
+        :meth:`repro.topology.compiled.CompiledMesh2D.link_matrix` or
+        the leveled encoding of
+        :meth:`repro.topology.compiled.CompiledLeveledTopology.link_matrix`)
+        — lets the vectorized batch modes skip their np.unique interning
+        pass (the constrained mode derives ``link_dst`` from the path
+        matrix when only the pair is given); the per-event mode ignores
+        it.
 
         ``spawn_plan`` is the static alternative to ``on_arrival`` for
         reply fan-out: entries ``(parent, position, children)`` mean that
@@ -242,20 +278,24 @@ class FastPathEngine:
                         "-node path"
                     )
 
-        # ---- fully vectorized batch mode --------------------------------
-        # The unconstrained, hook-free case (permutation / many-one /
+        # ---- fully vectorized batch modes -------------------------------
+        # The hook-free rectangular case (permutation / many-one /
         # CRCW-combining routing on any compiled topology, under FIFO or
         # furthest-first arbitration) steps whole transmission and
         # arrival phases as numpy array operations; per-link priority
         # heaps become class-indexed FIFO chains and combining becomes
         # gathers over interned (link, combine-group) codes, so both
-        # vectorize too.  Everything else falls through to the per-event
-        # loop below.
+        # vectorize too.  ``node_capacity`` runs (flow_control "none" or
+        # "credit") take the vectorized *constrained* variant of the same
+        # loop (batch credit accounting).  Everything else — dynamic
+        # injection, service rates, ragged paths — falls through to the
+        # per-event loop below.
+        if spawn_plan is not None and capacity is not None:
+            raise ValueError("spawn_plan is not supported with node_capacity")
         if (
             rectangular
             and n
             and on_arrival is None
-            and capacity is None
             and service_rate is None
         ):
             if path_arr is None:
@@ -278,6 +318,7 @@ class FastPathEngine:
                 "spawn_plan requires the vectorized batch mode (rectangular "
                 "paths, no on_arrival/capacity/service-rate)"
             )
+        self.last_run_mode = "event"
         if path_arr is not None:
             path_list = path_arr.tolist()
         pos = [0] * n
@@ -811,16 +852,7 @@ class FastPathEngine:
         )
         if deadlocked:
             raise DeadlockError(
-                stats,
-                detail=(
-                    f"no progress at t={t} with {remaining} packets queued "
-                    f"over {len(active)} links"
-                    + (
-                        f" and {len(fc.escape_at)} escape buffers"
-                        if fc is not None and fc.escape_at
-                        else ""
-                    )
-                ),
+                stats, detail=no_progress_detail(t, remaining, len(active), fc)
             )
         if not completed and raise_on_timeout:
             raise RoutingTimeout(stats)
@@ -868,23 +900,66 @@ class FastPathEngine:
         them, and absorption trees are kept as parent pointers plus
         subtree sizes (resolved to the reference engine's delivery
         cascade after the run).
+
+        Constrained mode (``node_capacity``, flow_control "none" or
+        "credit") keeps the same queue/arrival machinery and replaces
+        only the transmission phase with *batch credit accounting*: the
+        active links are classified vectorized into a **sure** majority
+        — exempt heads (delivered at the link's target) and links whose
+        target provably has credits for every comer this step
+        (``load + reserved + incoming_nonexempt <= capacity`` means no
+        processing order can starve them) — and a **contended** residue
+        replayed scalar in exact reference activation order.  The only
+        cross-class coupling is departures out of a contended link's
+        target by sure links earlier in the order; those are resolved
+        with one vectorized rank query (sorted (src, position) keys +
+        ``np.searchsorted``) before the scalar walk, so the walk touches
+        contended links only.  Escape-buffer occupancy lives in a
+        :class:`CreditState` keyed by dense link id (each directed
+        link's id *is* its escape slot), identical to the per-event
+        loop, and a no-progress step raises :class:`DeadlockError`.
         """
         n, width = path_arr.shape
+        capacity = self.node_capacity
+        fc = CreditState() if self.flow_control == "credit" else None
+        self.last_run_mode = "batch" if capacity is None else "batch-constrained"
+        link_dst: np.ndarray | None = None
         if links is not None:
-            link_mat, link_src = links
+            if len(links) == 3:
+                link_mat, link_src, link_dst = links
+                link_dst = np.asarray(link_dst, dtype=np.int64)
+            else:
+                link_mat, link_src = links
             link_mat = np.asarray(link_mat, dtype=np.int64)
             link_src = np.asarray(link_src, dtype=np.int64)
             if link_mat.shape != (n, max(width - 1, 0)):
                 raise ValueError("links matrix must align with the path matrix")
+            if capacity is not None and link_dst is None and width > 1:
+                # Derive each link's target by scattering the path
+                # matrix over the traversed positions (all writers of a
+                # link agree by construction).  Padded positions are
+                # excluded: a pad column repeats the destination, and
+                # arithmetic id schemes may map that self-loop onto a
+                # *real* link's id, which the scatter must not clobber.
+                link_dst = np.zeros(link_src.size, dtype=np.int64)
+                traversed = (
+                    np.arange(width - 1, dtype=np.int64)[None, :]
+                    < last[:, None]
+                )
+                link_dst[link_mat[traversed]] = path_arr[:, 1:][traversed]
         elif width > 1:
             codes = path_arr[:, :-1] * num_nodes + path_arr[:, 1:]
             uniq, inverse = np.unique(codes, return_inverse=True)
             link_src = (uniq // num_nodes).astype(np.int64)
+            link_dst = (uniq % num_nodes).astype(np.int64)
             link_mat = inverse.reshape(codes.shape).astype(np.int64)
         else:
             link_src = np.empty(0, dtype=np.int64)
+            link_dst = np.empty(0, dtype=np.int64)
             link_mat = np.empty((n, 0), dtype=np.int64)
         n_links = int(link_src.size)
+        if capacity is not None and link_dst is None:
+            link_dst = np.empty(0, dtype=np.int64)
 
         if priorities is None:
             n_classes = 1
@@ -981,6 +1056,33 @@ class FastPathEngine:
         flag = np.zeros(n_links, dtype=bool)
         n_links_sentinel = np.int64(n + 1)
         first_at = np.full(n_links, n_links_sentinel, dtype=np.int64)
+        deadlocked = False
+        if capacity is not None:
+            # Constrained-mode state: each packet's exit node (for the
+            # delivered-at-target capacity exemption), per-step scratch
+            # counters (zeroed lazily — only touched entries are reset),
+            # and the escape-claim ledger (packet -> link crossed into
+            # its escape buffer; resolved to an occupancy at admit time).
+            dest_arr = (
+                path_arr[np.arange(n), last]
+                if n
+                else np.empty(0, dtype=np.int64)
+            )
+            dest_l = dest_arr.tolist()
+            link_dst_l = link_dst.tolist()
+            inc_np = np.zeros(num_nodes, dtype=np.int64)
+            res_np = np.zeros(num_nodes, dtype=np.int64)
+            pending_escape: dict[int, int] = {}
+            empty_i64 = np.empty(0, dtype=np.int64)
+            # Membership scratch flags (reset after use): np.isin sorts
+            # its operands, which dwarfs these O(1) scatter/gathers.
+            used_flag = np.zeros(n_links, dtype=bool)
+            pend_flag = np.zeros(n, dtype=bool)
+            # Per-node counters for the scalar contended walk, as plain
+            # Python lists (faster than dict.get chains and numpy
+            # scalar indexing); only touched entries are reset.
+            res_list = [0] * num_nodes
+            dep_list = [0] * num_nodes
 
         inj_times: dict[int, list[int]] = defaultdict(list)
         for i, p in enumerate(all_packets):
@@ -1148,7 +1250,11 @@ class FastPathEngine:
                 break
             if t >= max_steps:
                 break
-            if not active.size and not pending_times:
+            if (
+                not active.size
+                and not pending_times
+                and (fc is None or not fc.escape_at)
+            ):
                 raise RuntimeError(
                     f"{remaining} packets undeliverable: network drained at t={t}"
                 )
@@ -1157,7 +1263,7 @@ class FastPathEngine:
             # highest nonempty class (lazy walk-down of stale maxima;
             # the loop narrows to the still-stale subset, so total work
             # is amortized by pushes, not classes x active links).
-            if n_classes > 1:
+            if n_classes > 1 and active.size:
                 cls = cls_max[active]
                 vli = active * n_classes + cls
                 stale = np.nonzero(counts[vli] == 0)[0]
@@ -1169,25 +1275,230 @@ class FastPathEngine:
             else:
                 vli = active
             heads = q_head[vli]
-            nxt = q_next[heads]
-            q_head[vli] = nxt
-            q_tail[vli[nxt < 0]] = -1
-            if counts is not None:
-                counts[vli] -= 1
-            if combine:
-                # A departing host releases its combine-code residency.
-                vc_pop = vc_mat[heads, pos[heads]]
-                mine = host_at[vc_pop] == heads
-                host_at[vc_pop[mine]] = -1
-            ql_after = q_len[active] - 1
-            q_len[active] = ql_after
-            np.subtract.at(node_load, link_src[active], 1)
-            pos[heads] += 1
-            arrivals = heads
-            active = active[ql_after > 0]
+            if capacity is None:
+                nxt = q_next[heads]
+                q_head[vli] = nxt
+                q_tail[vli[nxt < 0]] = -1
+                if counts is not None:
+                    counts[vli] -= 1
+                if combine:
+                    # A departing host releases its combine-code residency.
+                    vc_pop = vc_mat[heads, pos[heads]]
+                    mine = host_at[vc_pop] == heads
+                    host_at[vc_pop[mine]] = -1
+                ql_after = q_len[active] - 1
+                q_len[active] = ql_after
+                np.subtract.at(node_load, link_src[active], 1)
+                pos[heads] += 1
+                arrivals = heads
+                active = active[ql_after > 0]
+            else:
+                # ---- constrained transmission: batch credit accounting.
+                # Escape subphase first, exactly like the reference
+                # engine: occupants advance in occupancy order (absolute
+                # priority on their next link); `used` then blocks the
+                # bulk heads of those links.
+                esc_arrivals: list[int] = []
+                used: set[int] = set()
+                reserved: dict[int, int] = {}
+                if fc is not None and fc.escape_at:
+                    # node_load is static for the whole subphase (pops
+                    # and enqueues happen later), so gather the target
+                    # loads once instead of per-occupant scalar reads.
+                    # CreditState's dict ops are inlined: this loop runs
+                    # once per occupant per step.
+                    esc_at = fc.escape_at
+                    esc_next = fc.escape_next
+                    stalls = 0
+                    ehops = 0
+                    esc_snapshot = list(esc_at.items())
+                    nls = [esc_next[el] for el, _ in esc_snapshot]
+                    load_at = node_load[link_dst[nls]].tolist() if nls else []
+                    for (el, i), nl, ld in zip(esc_snapshot, nls, load_at):
+                        if nl in used:
+                            stalls += 1
+                            continue
+                        w = link_dst_l[nl]
+                        if dest_l[i] != w:
+                            if ld + reserved.get(w, 0) < capacity:
+                                reserved[w] = reserved.get(w, 0) + 1
+                            elif nl not in esc_at:
+                                ehops += 1
+                                pending_escape[i] = nl
+                            else:
+                                stalls += 1
+                                continue
+                        used.add(nl)
+                        del esc_at[el]
+                        del esc_next[el]
+                        esc_arrivals.append(i)
+                    fc.credits_stalled += stalls
+                    fc.escape_hops += ehops
+                    if esc_arrivals:
+                        pos[np.asarray(esc_arrivals, dtype=np.int64)] += 1
+                # Bulk subphase, vectorized: a link is **sure** to
+                # transmit when its head exits at the target (capacity
+                # exemption) or when the target has room for every
+                # comer this step no matter the order — `node_load`
+                # only falls and `reserved` grows at most by the other
+                # non-exempt in-links, so
+                # ``load + reserved + incoming_nonexempt <= capacity``
+                # is order-independent.  Everything else is contended
+                # and replayed scalar in activation order below.
+                if active.size:
+                    w_arr = link_dst[active]
+                    dec = dest_arr[heads] == w_arr  # exempt heads
+                    if used:
+                        used_list = list(used)
+                        used_flag[used_list] = True
+                        blocked = used_flag[active]
+                        used_flag[used_list] = False
+                        fc.credits_stalled += int(blocked.sum())
+                        nonex = ~dec & ~blocked
+                    else:
+                        blocked = None
+                        nonex = ~dec
+                    tgt = w_arr[nonex]
+                    np.add.at(inc_np, tgt, 1)
+                    budget_at_w = node_load[w_arr] + inc_np[w_arr]
+                    inc_np[tgt] = 0
+                    if reserved:
+                        for wn, v in reserved.items():
+                            res_np[wn] = v
+                        budget_at_w += res_np[w_arr]
+                        for wn in reserved:
+                            res_np[wn] = 0
+                    fine = budget_at_w <= capacity
+                    contended = nonex & ~fine
+                    dec |= fine
+                    if blocked is not None:
+                        dec &= ~blocked
+                    c_idx = np.nonzero(contended)[0]
+                    if c_idx.size:
+                        # Sure links settle before the scalar walk; the
+                        # only effect they have on a contended link is a
+                        # departure out of its (congested) target — a
+                        # rank query "sure links with src == w before
+                        # position p", answered for all contended links
+                        # with two vectorized searchsorteds.
+                        c_links = active[c_idx]
+                        c_w = w_arr[c_idx]
+                        c_heads = heads[c_idx]
+                        c_src = link_src[c_links]
+                        c_load = node_load[c_w]
+                        s_idx = np.nonzero(dec)[0]
+                        a1 = np.int64(active.size + 1)
+                        if s_idx.size:
+                            s_key = link_src[active[s_idx]] * a1 + s_idx
+                            s_key.sort()
+                            c_sdep = np.searchsorted(
+                                s_key, c_w * a1 + c_idx
+                            ) - np.searchsorted(s_key, c_w * a1)
+                        else:
+                            c_sdep = np.zeros(c_idx.size, dtype=np.int64)
+                        c_w_l = c_w.tolist()
+                        c_src_l = c_src.tolist()
+                        res_l = res_list
+                        dep_l = dep_list
+                        if reserved:
+                            for wn, v in reserved.items():
+                                res_l[wn] = v
+                        esc_at = fc.escape_at if fc is not None else None
+                        stalls = 0
+                        ehops = 0
+                        c_dec = []
+                        c_append = c_dec.append
+                        for li, wn, src, h, sd, ld in zip(
+                            c_links.tolist(),
+                            c_w_l,
+                            c_src_l,
+                            c_heads.tolist(),
+                            c_sdep.tolist(),
+                            c_load.tolist(),
+                        ):
+                            if ld - sd - dep_l[wn] + res_l[wn] < capacity:
+                                res_l[wn] += 1
+                                dep_l[src] += 1
+                                c_append(True)
+                            elif esc_at is not None and li not in esc_at:
+                                # Credit-starved head takes the escape
+                                # buffer of the link it crosses.
+                                ehops += 1
+                                pending_escape[h] = li
+                                dep_l[src] += 1
+                                c_append(True)
+                            else:
+                                stalls += 1
+                                c_append(False)
+                        if fc is not None:
+                            fc.credits_stalled += stalls
+                            fc.escape_hops += ehops
+                        # Reset the touched per-node counters.
+                        for wn in c_w_l:
+                            res_l[wn] = 0
+                        for src in c_src_l:
+                            dep_l[src] = 0
+                        if reserved:
+                            for wn in reserved:
+                                res_l[wn] = 0
+                        dec[c_idx] = c_dec
+                    t_sel = np.nonzero(dec)[0]
+                    if t_sel.size:
+                        tr = active[t_sel]
+                        vli_t = vli[t_sel]
+                        heads_t = heads[t_sel]
+                        nxt = q_next[heads_t]
+                        q_head[vli_t] = nxt
+                        q_tail[vli_t[nxt < 0]] = -1
+                        if counts is not None:
+                            counts[vli_t] -= 1
+                        if combine:
+                            vc_pop = vc_mat[heads_t, pos[heads_t]]
+                            mine = host_at[vc_pop] == heads_t
+                            host_at[vc_pop[mine]] = -1
+                        q_len[tr] -= 1
+                        np.subtract.at(node_load, link_src[tr], 1)
+                        pos[heads_t] += 1
+                        bulk_arrivals = heads_t
+                        active = active[q_len[active] > 0]
+                    else:
+                        bulk_arrivals = empty_i64
+                else:
+                    bulk_arrivals = empty_i64
+                if esc_arrivals:
+                    arrivals = np.concatenate(
+                        [np.asarray(esc_arrivals, dtype=np.int64), bulk_arrivals]
+                    )
+                else:
+                    arrivals = bulk_arrivals
+                if not arrivals.size and not pending_times:
+                    # No transmission and no future injections: the
+                    # state is provably static forever.  Report instead
+                    # of spinning (the reference engine's detector).
+                    deadlocked = True
+                    break
 
             t += 1
-            admit(arrivals, t)
+            if capacity is not None and pending_escape:
+                # Escape landings occupy their buffer instead of
+                # enqueueing; occupancy order is arrival order, exactly
+                # the reference engine's place() order.
+                pe = list(pending_escape)
+                pend_flag[pe] = True
+                pmask = pend_flag[arrivals]
+                pend_flag[pe] = False
+                landed = arrivals[pmask]
+                esc_at = fc.escape_at
+                esc_next = fc.escape_next
+                for i, nl in zip(
+                    landed.tolist(), link_mat[landed, pos[landed]].tolist()
+                ):
+                    el = pending_escape.pop(i)
+                    esc_at[el] = i
+                    esc_next[el] = nl
+                arrivals = arrivals[~pmask]
+            if arrivals.size:
+                admit(arrivals, t)
 
         completed = remaining == 0
         track = self.track_paths
@@ -1254,7 +1565,14 @@ class FastPathEngine:
             completed=completed,
             combines=combines,
             max_node_load=max_node_load,
+            credits_stalled=fc.credits_stalled if fc is not None else 0,
+            escape_hops=fc.escape_hops if fc is not None else 0,
         )
+        if deadlocked:
+            raise DeadlockError(
+                stats,
+                detail=no_progress_detail(t, remaining, int(active.size), fc),
+            )
         if not completed and raise_on_timeout:
             raise RoutingTimeout(stats)
         return stats

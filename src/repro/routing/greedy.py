@@ -32,7 +32,25 @@ from repro.topology.mesh import LinearArray, Mesh2D
 
 
 class GreedyRouter:
-    """Deterministic greedy router over an arbitrary topology."""
+    """Deterministic greedy router over an arbitrary topology.
+
+    Parameters
+    ----------
+    node_capacity:
+        Bound on packets resident at one node (backpressure); ``None``
+        disables the capacity model.
+    flow_control:
+        ``"none"`` (default) or ``"credit"`` (requires
+        ``node_capacity``): the deadlock-free credit/escape protocol of
+        :mod:`repro.routing.flow_control` — sound on rank-monotone
+        routes (mesh, linear array, hypercube); cyclic greedy paths may
+        surface a :class:`~repro.routing.flow_control.DeadlockError`.
+    engine:
+        ``"auto"`` (default), ``"fast"``, or ``"reference"``.  The fast
+        path runs vectorized batch (constrained batch under
+        ``node_capacity``) on mesh/linear/hypercube topologies and the
+        per-event compiled loop on ragged ``route_next`` walks.
+    """
 
     def __init__(
         self,

@@ -56,7 +56,10 @@ class LeveledRouter:
     cycle here), and ``flow_control="credit"`` adds the escape channel
     of :mod:`repro.routing.flow_control` for O(1)-queue runs.  Capacity
     accounting identifies the wrap aliases ``(0, L, r)`` / ``(1, 0, r)``
-    as one physical node, matching the compiled ids.
+    as one physical node, matching the compiled ids.  On the fast
+    engine, capacity runs take the vectorized constrained-batch mode
+    (batch credit accounting; escape buffers keyed by arithmetic link
+    id) — see ``docs/architecture.md``.
     """
 
     def __init__(
@@ -82,11 +85,12 @@ class LeveledRouter:
         self.track_paths = track_paths
         self.engine_mode = engine
         resolve_engine_mode(engine)  # validate eagerly
-        #: after a fast-path run: each packet's compiled node-id
-        #: itinerary, aligned with the routed packet list (None after a
-        #: reference run).  The emulation layer reuses these to build
-        #: reply itineraries without re-encoding traces.
-        self.last_fast_paths: list[list[int]] | None = None
+        #: after a fast-path run: the packets' compiled node-id
+        #: itineraries as an ``(n, 2L + 1)`` int matrix, aligned with
+        #: the routed packet list (None after a reference run).  The
+        #: emulation layer reuses these to build reply itineraries
+        #: without re-encoding traces.
+        self.last_fast_paths: np.ndarray | None = None
         L = net.num_levels
         self.engine = SynchronousEngine(
             queue_factory=fifo_factory,
@@ -189,11 +193,20 @@ class LeveledRouter:
             node_capacity=self.node_capacity,
             flow_control=self.flow_control,
         )
+        # Arithmetic link ids skip the engine's np.unique interning pass
+        # (and carry link_dst for the constrained batch mode's credit
+        # accounting); they need the out-neighbor tables, so non-uniform
+        # out-degree networks fall back to interning.
+        links = None
+        if self.net.uniform_out_degree:
+            link_src, link_dst = compiled.link_arrays()
+            links = (compiled.link_matrix(paths), link_src, link_dst)
         return fast.run(
             packets,
             paths,
             num_nodes=compiled.num_node_ids,
             max_steps=max_steps,
+            links=links,
             node_key=compiled.node_key,
             trace_key=compiled.trace_key,
         )

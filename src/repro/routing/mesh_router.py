@@ -22,8 +22,10 @@ random rows are pre-drawn in one batched RNG call before an engine is
 chosen, and the whole trajectory (plus its per-hop
 furthest-destination-first priorities) is a closed-form function of
 (source, i', dest), so the compiled fast path replays the reference
-engine's queue dynamics — including ``node_capacity`` backpressure —
-bit for bit.
+engine's queue dynamics bit for bit.  ``node_capacity`` runs take the
+fast engine's vectorized constrained-batch mode (batch credit
+accounting); with ``flow_control="credit"`` they realize Corollary
+3.3's deadlock-free O(1)-queue discipline (see ``docs/flow_control.md``).
 """
 
 from __future__ import annotations
@@ -80,14 +82,12 @@ def _run_fast_mesh(
         node_capacity=node_capacity,
         flow_control=flow_control,
     )
-    # Arithmetic link ids only pay off in the vectorized batch mode; a
-    # capacity-constrained run takes the per-event loop, which ignores
-    # them — don't build the matrix just to drop it.
-    links = (
-        (compiled.link_matrix(plan.ids), compiled.link_arrays()[0])
-        if node_capacity is None
-        else None
-    )
+    # Arithmetic link ids skip the engine's np.unique interning pass in
+    # both vectorized modes (unconstrained batch and the constrained
+    # batch-credit mode take them; capacity runs also need link_dst for
+    # the credit/exemption accounting).
+    link_src, link_dst = compiled.link_arrays()
+    links = (compiled.link_matrix(plan.ids), link_src, link_dst)
     stats = fast.run(
         packets,
         plan.ids,
@@ -101,7 +101,38 @@ def _run_fast_mesh(
 
 
 class MeshRouter:
-    """3-stage randomized router with furthest-destination-first queues."""
+    """3-stage randomized router with furthest-destination-first queues.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed/generator for the stage-0 random rows (and permutation
+        draws); a fixed seed gives bit-identical results on both engines.
+    slice_rows:
+        Height of the horizontal slices confining the stage-0 random
+        row (default: the paper's n / log2(n)).
+    discipline:
+        Queue arbitration: ``"furthest_first"`` (§3.4's
+        furthest-destination-first, the default) or ``"fifo"``.
+    node_capacity:
+        Bound on packets resident at one node; upstream links stall
+        when a node is full (backpressure, §3.4 / Corollary 3.3).
+        ``None`` (default) disables the capacity model.
+    flow_control:
+        ``"none"`` (default) is plain backpressure — tight capacities
+        can wedge crossing flows, surfaced as
+        :class:`~repro.routing.flow_control.DeadlockError`;
+        ``"credit"`` (requires ``node_capacity``) adds the deadlock-free
+        credit/escape protocol of :mod:`repro.routing.flow_control`.
+    track_paths:
+        Record visited nodes in ``packet.trace`` (reference engine; the
+        fast path exposes compiled itineraries via ``last_fast_paths``).
+    combine:
+        CRCW combining of same-(kind, address, dest) packets at enqueue.
+    engine:
+        ``"auto"`` (default; fast path, ``REPRO_ENGINE`` overridable),
+        ``"fast"``, or ``"reference"`` — see ``docs/architecture.md``.
+    """
 
     def __init__(
         self,
@@ -251,7 +282,12 @@ class MeshRouter:
 
 
 class GreedyMeshRouter:
-    """Deterministic dimension-order (column-then-row) FIFO baseline."""
+    """Deterministic dimension-order (column-then-row) FIFO baseline.
+
+    ``node_capacity`` / ``flow_control`` / ``engine`` behave exactly as
+    on :class:`MeshRouter` (dimension-order routes are rank-monotone,
+    so ``flow_control="credit"`` is deadlock-free here too).
+    """
 
     def __init__(
         self,

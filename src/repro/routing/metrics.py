@@ -32,10 +32,13 @@ class RoutingStats:
     #: outgoing link queues); the per-processor buffer requirement
     max_node_load: int = 0
     #: (link, step) pairs where credit flow control held a transmission
-    #: back — a queue head or escape occupant that could not move
+    #: back — a queue head or escape occupant that could not move this
+    #: step.  Zero unless ``flow_control="credit"``; identical across
+    #: engines under a fixed seed (see docs/flow_control.md).
     credits_stalled: int = 0
     #: hops taken through dedicated per-link escape buffers (the
-    #: deadlock-free channel of ``flow_control="credit"``)
+    #: deadlock-free channel of ``flow_control="credit"``); each one is
+    #: a credit-starved head bypassing a full bulk buffer
     escape_hops: int = 0
 
     @property

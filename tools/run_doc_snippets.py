@@ -1,0 +1,81 @@
+"""Execute every ```python code block in README.md and docs/*.md.
+
+The project docs promise runnable snippets; this keeps the promise
+honest in CI.  Each fenced block runs in its own namespace (so docs
+stay self-contained), with the working directory at the repo root.
+Blocks opened with ```python only — other languages and plain fences
+are ignored.  Exit code is the number of failing (doc, block) pairs.
+
+Run:  python tools/run_doc_snippets.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def extract_blocks(text: str) -> list[tuple[int, str]]:
+    """(start_line, source) for every ```python fence in *text*."""
+    blocks = []
+    lines = text.splitlines()
+    in_block = False
+    start = 0
+    buf: list[str] = []
+    for lineno, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not in_block and stripped == "```python":
+            in_block = True
+            start = lineno + 1
+            buf = []
+        elif in_block and stripped == "```":
+            in_block = False
+            blocks.append((start, "\n".join(buf)))
+        elif in_block:
+            buf.append(line)
+    if in_block:
+        raise ValueError(f"unclosed ```python fence starting at line {start}")
+    return blocks
+
+
+def run_file(path: Path) -> int:
+    failures = 0
+    try:
+        rel = path.relative_to(REPO_ROOT)
+    except ValueError:  # a CLI-passed file outside the repo
+        rel = path
+    for start, source in extract_blocks(path.read_text()):
+        label = f"{rel}:{start}"
+        try:
+            code = compile(source, label, "exec")
+            exec(code, {"__name__": f"doc_snippet:{label}"})
+        except Exception:
+            failures += 1
+            print(f"FAIL {label}")
+            traceback.print_exc()
+        else:
+            print(f"ok   {label}")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    os.chdir(REPO_ROOT)  # the docstring's promised working directory
+    if argv:
+        targets = [Path(a).resolve() for a in argv]
+    else:
+        targets = [REPO_ROOT / "README.md"]
+        targets += sorted((REPO_ROOT / "docs").glob("*.md"))
+    failures = 0
+    for path in targets:
+        failures += run_file(path)
+    print(f"\n{'FAILED' if failures else 'all green'}: "
+          f"{failures} failing snippet(s) across {len(targets)} file(s)")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
