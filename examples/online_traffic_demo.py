@@ -1,0 +1,111 @@
+"""Online traffic: serving an open request stream instead of one batch.
+
+Everything the paper measures is a closed batch — inject one PRAM step,
+drain it, stop.  This demo runs the emulators as an open *service*:
+
+1. a seeded workload (Poisson arrivals x key distribution) streams
+   requests into an admission queue;
+2. an :class:`~repro.traffic.OnlineEmulator` serves them epoch by epoch
+   through the usual engine dispatch (every epoch is a rectangular
+   vectorized batch — the report proves it);
+3. windowed telemetry reports throughput, p50/p95/p99 sojourn latency
+   (in network steps, arrival -> delivery), and queue depth.
+
+Two experiments:
+
+* **exclusive access meets a hot spot** — on an EREW mesh a hot address
+  can be touched once per epoch, so at the *same* offered load a
+  Zipf-skewed stream saturates and its tail latency explodes while the
+  uniform stream cruises;
+* **combining absorbs the same skew** — the CRCW butterfly emulator
+  (Theorem 2.6) serves the Zipf stream at uniform-like latency.
+
+Run:  python examples/online_traffic_demo.py [--quick]
+"""
+
+import sys
+
+from repro.emulation import LeveledEmulator, MeshEmulator
+from repro.topology import DAryButterflyLeveled, Mesh2D
+from repro.traffic import (
+    OnlineEmulator,
+    PoissonArrivals,
+    UniformKeys,
+    WorkloadGenerator,
+    ZipfKeys,
+)
+from repro.util.tables import Table
+
+QUICK = "--quick" in sys.argv
+SIDE = 8 if QUICK else 12
+EPOCHS = 16 if QUICK else 30
+
+
+def serve(emulator, n_procs: int, space: int, keys, label: str):
+    workload = WorkloadGenerator(
+        n_procs,
+        arrivals=PoissonArrivals(0.5 * n_procs),  # half the admit limit
+        keys=keys,
+        seed=7,
+    )
+    report = OnlineEmulator(emulator, workload).run(EPOCHS)
+    ss = report.steady_state()
+    return label, report, ss
+
+
+mesh = Mesh2D.square(SIDE)
+N = mesh.num_nodes
+SPACE = 4 * N
+
+print(f"EREW mesh({SIDE}x{SIDE}): equal offered load, uniform vs Zipf keys\n")
+rows = [
+    serve(
+        MeshEmulator(mesh, SPACE, mode="erew", seed=11),
+        N, SPACE, UniformKeys(SPACE), "uniform",
+    ),
+    serve(
+        MeshEmulator(mesh, SPACE, mode="erew", seed=11),
+        N, SPACE, ZipfKeys(SPACE, exponent=1.1), "zipf",
+    ),
+]
+t = Table(["keys", "served", "p50", "p95", "p99", "backlog", "saturated"])
+for label, report, ss in rows:
+    t.add_row(
+        [
+            label,
+            report.total_delivered,
+            round(ss["sojourn_p50"]),
+            round(ss["sojourn_p95"]),
+            round(ss["sojourn_p99"]),
+            report.final_backlog,
+            bool(ss["saturated"]),
+        ]
+    )
+print(t.render())
+uniform_ss, zipf_ss = rows[0][2], rows[1][2]
+assert zipf_ss["sojourn_p99"] > uniform_ss["sojourn_p99"]
+print(
+    "\nExclusive access serializes the hot addresses: the Zipf stream's "
+    f"p99 sojourn\nis {zipf_ss['sojourn_p99'] / uniform_ss['sojourn_p99']:.0f}x "
+    "the uniform stream's at the same offered load."
+)
+
+net = DAryButterflyLeveled(2, 6 if QUICK else 7)
+LN = net.column_size
+LSPACE = 4 * LN
+print(f"\nCRCW butterfly (N={LN}): combining absorbs the same Zipf skew\n")
+label, report, ss = serve(
+    LeveledEmulator(net, LSPACE, mode="crcw", seed=11),
+    LN, LSPACE, ZipfKeys(LSPACE, exponent=1.1), "zipf+combining",
+)
+print(
+    f"served={report.total_delivered}  p50={ss['sojourn_p50']:.0f}  "
+    f"p99={ss['sojourn_p99']:.0f}  backlog={report.final_backlog}  "
+    f"saturated={bool(ss['saturated'])}"
+)
+assert not ss["saturated"]
+
+modes = report.run_mode_counts()
+print(f"\nEngine dispatch history across all epochs: {modes}")
+assert set(modes) <= {"batch", "batch-constrained"}, "silent per-event fallback!"
+print("Every online epoch stayed on the vectorized batch paths.")

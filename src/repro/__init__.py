@@ -15,6 +15,9 @@ Public API tour:
   on a network.
 * ``repro.analysis`` — executable versions of the paper's bounds.
 * ``repro.experiments`` — the E1-E12 / F1-F5 reproduction suite.
+* ``repro.traffic`` — online traffic: open-loop workload generators,
+  the :class:`~repro.traffic.OnlineEmulator` streaming driver, and
+  windowed service telemetry (:class:`~repro.traffic.TrafficReport`).
 """
 
 from repro.emulation import LeveledEmulator, MeshEmulator, replay_program
@@ -27,6 +30,7 @@ from repro.topology import (
     StarGraph,
     StarLogicalLeveled,
 )
+from repro.traffic import OnlineEmulator, TrafficReport, WorkloadGenerator
 
 __version__ = "0.1.0"
 
@@ -39,11 +43,14 @@ __all__ = [
     "Mesh2D",
     "MeshEmulator",
     "MeshRouter",
+    "OnlineEmulator",
     "PRAM",
     "ShuffleRouter",
     "StarGraph",
     "StarLogicalLeveled",
     "StarRouter",
+    "TrafficReport",
+    "WorkloadGenerator",
     "WritePolicy",
     "__version__",
     "replay_program",

@@ -27,6 +27,17 @@ class StepCost:
     combines: int = 0
     max_queue: int = 0
     requests: int = 0
+    #: credit-flow-control stalls summed over the step's routing phases
+    #: (zero unless ``flow_control="credit"``); the traffic subsystem
+    #: turns these into a per-epoch time series
+    credits_stalled: int = 0
+    #: engine execution mode of every routing run performed for this
+    #: step, in order: each request attempt (rehash retries included)
+    #: followed by the reply phase.  Values are
+    #: :attr:`repro.routing.metrics.RoutingStats.run_mode` strings;
+    #: online runs assert on these that rectangular epochs never fall
+    #: back to the per-event loop.
+    run_modes: tuple[str, ...] = ()
 
     @property
     def total_steps(self) -> int:

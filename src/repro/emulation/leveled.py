@@ -218,6 +218,7 @@ class LeveledEmulator(Emulator):
                 engine=mode,
             )
 
+        modes: list[str] = []
         for attempt in range(self.max_rehashes + 1):
             router = make_router()
             packets = self._build_request_packets(step)
@@ -227,8 +228,9 @@ class LeveledEmulator(Emulator):
                 # A wedged attempt is just a failed attempt: a rehash
                 # redraws the trajectories.
                 stats = exc.stats
+            modes.append(stats.run_mode)
             if stats.completed:
-                return router, packets, stats, rehashes
+                return router, packets, stats, rehashes, modes
             if attempt < self.max_rehashes:
                 self.rehash()
                 rehashes += 1
@@ -236,9 +238,10 @@ class LeveledEmulator(Emulator):
         router = make_router()
         packets = self._build_request_packets(step)
         stats = router.route_packets(packets, max_steps=400 * L + 1000)
+        modes.append(stats.run_mode)
         if not stats.completed:
             raise RuntimeError("request routing failed even after rehashes")
-        return router, packets, stats, rehashes
+        return router, packets, stats, rehashes, modes
 
     # ------------------------------------------------------------------
     def emulate_step(self, step: StepTrace) -> StepCost:
@@ -249,7 +252,9 @@ class LeveledEmulator(Emulator):
             )
 
         mode = resolve_engine_mode(self.engine_mode)
-        router, packets, req_stats, rehashes = self._route_requests(step, mode)
+        router, packets, req_stats, rehashes, run_modes = self._route_requests(
+            step, mode
+        )
         hosts = [p for p in packets if not p.combined]
 
         # Memory semantics: reads see pre-step state, then writes land.
@@ -270,6 +275,7 @@ class LeveledEmulator(Emulator):
         # Reply phase (reads only): reverse paths + combining-tree fan-out.
         reply_steps = 0
         max_queue = req_stats.max_queue
+        credits_stalled = req_stats.credits_stalled
         if read_hosts:
             L = self.net.num_levels
             budget = int(self.rehash_factor * 4 * L) + 1000
@@ -291,6 +297,8 @@ class LeveledEmulator(Emulator):
                 raise RuntimeError("reply routing did not complete")
             reply_steps = reply_stats.steps
             max_queue = max(max_queue, reply_stats.max_queue)
+            credits_stalled += reply_stats.credits_stalled
+            run_modes.append(reply_stats.run_mode)
             if self.validate:
                 self._check_replies(step, packets, spawner, replies)
 
@@ -301,6 +309,8 @@ class LeveledEmulator(Emulator):
             combines=req_stats.combines,
             max_queue=max_queue,
             requests=step.num_requests,
+            credits_stalled=credits_stalled,
+            run_modes=tuple(run_modes),
         )
 
     def _route_replies_fast(self, hosts, values, packets, int_paths, budget: int):

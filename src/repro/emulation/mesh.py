@@ -215,6 +215,7 @@ class MeshEmulator(Emulator):
         n = self.mesh.rows + self.mesh.cols
         allotment = max(int(self.rehash_factor * n), n + 4)
         rehashes = 0
+        modes: list[str] = []
         for _attempt in range(self.max_rehashes + 1):
             router = self._make_router(engine_mode)
             packets = self._build_request_packets(step)
@@ -226,8 +227,9 @@ class MeshEmulator(Emulator):
                 # A wedged attempt is just a failed attempt: a rehash
                 # (and fresh stage-1 rows) redraws the trajectories.
                 stats = exc.stats
+            modes.append(stats.run_mode)
             if stats.completed:
-                return router, packets, stats, rehashes
+                return router, packets, stats, rehashes, modes
             if self.placement == "direct":
                 break  # rehashing cannot help direct placement
             self.rehash()
@@ -235,9 +237,10 @@ class MeshEmulator(Emulator):
         router = self._make_router(engine_mode)
         packets = self._build_request_packets(step)
         stats = router.route(None, None, max_steps=500 * n + 2000, packets=packets)
+        modes.append(stats.run_mode)
         if not stats.completed:
             raise RuntimeError("mesh request routing failed after rehashes")
-        return router, packets, stats, rehashes
+        return router, packets, stats, rehashes, modes
 
     # ------------------------------------------------------------------
     def emulate_step(self, step: StepTrace) -> StepCost:
@@ -247,7 +250,9 @@ class MeshEmulator(Emulator):
             )
 
         engine_mode = resolve_engine_mode(self.engine_mode)
-        router, packets, req_stats, rehashes = self._route_requests(step, engine_mode)
+        router, packets, req_stats, rehashes, run_modes = self._route_requests(
+            step, engine_mode
+        )
         hosts = [p for p in packets if not p.combined]
         read_hosts = [p for p in hosts if p.kind == "read"]
         values = {p.pid: self.memory.read(p.address) for p in read_hosts}
@@ -265,6 +270,7 @@ class MeshEmulator(Emulator):
 
         reply_steps = 0
         max_queue = req_stats.max_queue
+        credits_stalled = req_stats.credits_stalled
         if read_hosts:
             if self.mode == "crcw":
                 # Both engines intentionally run the CRCW reverse-path
@@ -294,6 +300,8 @@ class MeshEmulator(Emulator):
                 reply_stats = self._replies_fresh_route(read_hosts, values, engine_mode)
             reply_steps = reply_stats.steps
             max_queue = max(max_queue, reply_stats.max_queue)
+            credits_stalled += reply_stats.credits_stalled
+            run_modes.append(reply_stats.run_mode)
 
         return StepCost(
             request_steps=req_stats.steps,
@@ -302,6 +310,8 @@ class MeshEmulator(Emulator):
             combines=req_stats.combines,
             max_queue=max_queue,
             requests=step.num_requests,
+            credits_stalled=credits_stalled,
+            run_modes=tuple(run_modes),
         )
 
     def _replies_fresh_route(self, read_hosts, values, engine_mode: str):

@@ -63,6 +63,35 @@ def run_sweep(
     return rows
 
 
+def run_online_sweep(
+    driver_fn: Callable,
+    param_grid: Sequence[Mapping],
+    *,
+    epochs: int,
+    trials: int = 1,
+    seed=0,
+    skip_epochs: int | None = None,
+) -> list[SweepRow]:
+    """Sweep online-traffic scenarios like :func:`run_sweep` sweeps trials.
+
+    ``driver_fn(rng=..., **params)`` must build a *fresh* driver (an
+    object with ``run(epochs)`` returning a report exposing
+    ``steady_state(skip_epochs=...)`` — in practice an
+    :class:`repro.traffic.OnlineEmulator`) seeded from the supplied
+    generator; each trial's steady-state summary becomes one sample per
+    metric, so :func:`rows_to_table` renders traffic sweeps exactly
+    like batch sweeps (and trial seeding is :func:`run_sweep`'s, so
+    online and batch sweeps under one seed stay comparable).
+    """
+
+    def trial(rng, **params):
+        return driver_fn(rng=rng, **params).run(epochs).steady_state(
+            skip_epochs=skip_epochs
+        )
+
+    return run_sweep(trial, param_grid, trials=trials, seed=seed)
+
+
 def rows_to_table(
     rows: Iterable[SweepRow],
     param_cols: Sequence[str],

@@ -420,6 +420,7 @@ class SynchronousEngine:
             max_node_load=max_node_load,
             credits_stalled=fc.credits_stalled if fc is not None else 0,
             escape_hops=fc.escape_hops if fc is not None else 0,
+            run_mode="reference",
         )
         if deadlocked:
             raise DeadlockError(

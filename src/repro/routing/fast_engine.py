@@ -849,6 +849,7 @@ class FastPathEngine:
             max_node_load=max_node_load,
             credits_stalled=fc.credits_stalled if fc is not None else 0,
             escape_hops=fc.escape_hops if fc is not None else 0,
+            run_mode="event",
         )
         if deadlocked:
             raise DeadlockError(
@@ -1567,6 +1568,7 @@ class FastPathEngine:
             max_node_load=max_node_load,
             credits_stalled=fc.credits_stalled if fc is not None else 0,
             escape_hops=fc.escape_hops if fc is not None else 0,
+            run_mode=self.last_run_mode,
         )
         if deadlocked:
             raise DeadlockError(

@@ -311,6 +311,9 @@ class LeveledRouter:
                         completed=True,
                         delays=delays,
                         hops=hops,
+                        # The aggregate spans rounds that all ran the
+                        # same engine; stamp the final round's mode.
+                        run_mode=stats.run_mode,
                     ),
                     round_idx,
                 )

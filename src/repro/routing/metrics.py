@@ -40,6 +40,15 @@ class RoutingStats:
     #: deadlock-free channel of ``flow_control="credit"``); each one is
     #: a credit-starved head bypassing a full bulk buffer
     escape_hops: int = 0
+    #: execution mode that produced this run: ``"reference"`` (the
+    #: per-hop readable engine) or one of the fast engine's modes —
+    #: ``"batch"``, ``"batch-constrained"``, ``"event"`` (see
+    #: ``FastPathEngine.last_run_mode``).  Deliberately excluded from
+    #: the engine-differential equality contract: the *numbers* must
+    #: match across engines, the mode must not.  The traffic subsystem
+    #: aggregates these into a per-epoch dispatch history so online
+    #: runs can assert "no silent per-event fallback".
+    run_mode: str = ""
 
     @property
     def routing_time(self) -> int:
@@ -89,6 +98,7 @@ def collect_stats(
     max_node_load: int = 0,
     credits_stalled: int = 0,
     escape_hops: int = 0,
+    run_mode: str = "",
 ) -> RoutingStats:
     """Assemble a :class:`RoutingStats` from delivered packets."""
     delivered = [p for p in packets if p.delivered]
@@ -104,4 +114,5 @@ def collect_stats(
         max_node_load=max_node_load,
         credits_stalled=credits_stalled,
         escape_hops=escape_hops,
+        run_mode=run_mode,
     )

@@ -308,6 +308,8 @@ class StarLogicalLeveled(LeveledNetwork):
         self.star = StarGraph(n)
         self.n = n
         self._nbr_table: np.ndarray | None = None
+        self._perm_table: np.ndarray | None = None
+        self._pos_table: np.ndarray | None = None
 
     @property
     def num_levels(self) -> int:
@@ -358,3 +360,61 @@ class StarLogicalLeveled(LeveledNetwork):
                 f"symbol {sym} not staged at front of {cur_p}"
             )
         return perm_rank(swap_j(cur_p, pos))
+
+    # ---- batched canonical paths (compiled fast path) -------------------
+    def _symbol_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(perm, pos)`` lookup tables over all N = n! nodes.
+
+        ``perm[v, i]`` is the symbol at position i of node v's label and
+        ``pos[v, s]`` the position of symbol s (the inverse row).  One
+        O(N n) Lehmer sweep replaces the per-pair unrank/rank arithmetic
+        the generic ``unique_next_batch`` fallback had to memoize.
+        """
+        if self._perm_table is None:
+            n = self.n
+            N = self.column_size
+            perm = np.empty((N, n), dtype=np.int64)
+            for v in range(N):
+                perm[v] = perm_unrank(v, n)
+            pos = np.empty_like(perm)
+            np.put_along_axis(
+                pos, perm, np.arange(n, dtype=np.int64)[None, :], axis=1
+            )
+            self._perm_table = perm
+            self._pos_table = pos
+        return self._perm_table, self._pos_table
+
+    def unique_next_batch(
+        self, level: int, rows: np.ndarray, dests: np.ndarray
+    ) -> np.ndarray:
+        """Table-based batch form of :meth:`unique_next`.
+
+        Every SWAP_j image is already tabulated in the neighbor table
+        (column j is SWAP_j, column 0 the self link), so one stage of
+        the canonical path is three gathers: the needed symbol, its
+        position in each current label, and the corresponding swap —
+        no Lehmer ranking per (row, dest) pair.
+        """
+        self.validate_level(level)
+        stage, substep = divmod(level, 2)
+        pos = self.n - 1 - stage  # the position this stage pins down
+        rows = np.asarray(rows, dtype=np.int64)
+        dests = np.asarray(dests, dtype=np.int64)
+        perm, pos_of = self._symbol_tables()
+        nbr = self.out_neighbor_table(level)  # column j = SWAP_j image
+        sym = perm[dests, pos]
+        settled = perm[rows, pos] == sym  # right subgraph: forward as switch
+        if substep == 0:
+            # Bring sym to the front: swap with its position (a no-op
+            # self link when it is already staged there, loc == 0).
+            loc = pos_of[rows, sym]
+            out = nbr[rows, loc]
+        else:
+            # Place the staged front symbol (substep 0 guarantees it).
+            if not np.all(settled | (perm[rows, 0] == sym)):
+                raise RuntimeError(
+                    "canonical star path invariant violated: "
+                    f"symbol not staged at front before level {level}"
+                )
+            out = nbr[rows, pos]
+        return np.where(settled, rows, out)

@@ -1,0 +1,245 @@
+"""Open-loop streaming driver: feed an emulator epoch by epoch.
+
+:class:`OnlineEmulator` turns the closed-batch PRAM emulators into an
+open service.  A :class:`~repro.traffic.generators.WorkloadGenerator`
+produces arrivals; an admission queue smooths them into *epochs* — one
+emulated PRAM step each — and windowed telemetry
+(:class:`~repro.traffic.telemetry.TrafficReport`) records what the
+service did.
+
+Epoch loop
+----------
+Per epoch: (1) the generator's arrivals for the epoch enter the
+admission queue (the ``"drop"`` overflow policy rejects arrivals beyond
+``queue_limit``; ``"defer"`` keeps everything); (2) up to
+``admit_limit`` queued requests are admitted FIFO into a
+:class:`~repro.pram.trace.StepTrace`; (3) the emulator serves the step
+— hashing, request routing under whatever ``node_capacity`` /
+``flow_control`` the emulator was built with, memory ops, replies; (4)
+the virtual clock advances by the step's network cost and every served
+request's sojourn (arrival -> delivery, in network steps) is recorded.
+Un-admitted requests stay queued and carry over — under credit
+backpressure a congested epoch takes longer, the clock advances
+further, and the queued requests' sojourns grow: exactly the open-loop
+feedback a closed batch cannot express.
+
+Admitted batches are *rectangular* work for the engines: requests
+become one PRAM step, which the emulators route through their
+``engine="auto"`` dispatch, so online epochs stay on the vectorized
+batch / constrained-batch paths.  The per-epoch dispatch history on the
+report (``run_modes``) lets tests assert that no epoch silently fell
+back to the per-event mode.
+
+Reproducibility: the workload stream is a pure function of the
+generator's seed and the emulator pre-draws its routing randomness, so
+a fixed (workload seed, emulator seed) pair replays bit-identically on
+``engine="fast"`` and ``engine="reference"``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.emulation.base import Emulator, StepCost
+from repro.pram.trace import ReadRequest, StepTrace, WriteRequest
+from repro.traffic.generators import TrafficRequest, WorkloadGenerator
+from repro.traffic.telemetry import EpochRecord, TrafficReport
+
+__all__ = ["OnlineEmulator"]
+
+OVERFLOW_POLICIES = ("defer", "drop")
+
+
+class OnlineEmulator:
+    """Drive an :class:`~repro.emulation.base.Emulator` with open traffic.
+
+    Parameters
+    ----------
+    emulator:
+        A configured :class:`~repro.emulation.MeshEmulator` or
+        :class:`~repro.emulation.LeveledEmulator` (any engine, any
+        flow-control setting).  The driver never touches its internals;
+        it only calls :meth:`emulate_step`.
+    workload:
+        The seeded request source.  Its ``n_procs`` must not exceed the
+        emulator's processor count.
+    admit_limit:
+        Maximum requests admitted into one epoch's PRAM step (default:
+        the workload's ``n_procs`` — one request per processor, the
+        natural rectangular step).  Arrivals beyond it wait.
+    queue_limit / overflow:
+        Admission-queue bound and what to do beyond it: ``"defer"``
+        (default) never drops — the queue grows without bound (a
+        ``queue_limit`` is rejected as meaningless) and saturation
+        shows up as growing backlog; ``"drop"`` rejects (drop-tail)
+        arrivals that would exceed ``queue_limit``.
+    exclusive:
+        Admit at most one request per address per epoch: later requests
+        for an already-admitted address are *skipped over* (they keep
+        their FIFO position and retry next epoch) rather than blocking
+        the queue head.  Defaults to ``True`` exactly when the emulator
+        runs ``mode="erew"``, which rejects concurrent accesses; CRCW
+        emulators take the whole batch and let combining handle
+        concurrency.  Under a hot-spot key distribution this rule *is*
+        the cost of exclusive access: a hot address serializes to one
+        touch per epoch, so its excess demand accumulates as backlog.
+    """
+
+    def __init__(
+        self,
+        emulator: Emulator,
+        workload: WorkloadGenerator,
+        *,
+        admit_limit: int | None = None,
+        queue_limit: int | None = None,
+        overflow: str = "defer",
+        exclusive: bool | None = None,
+    ) -> None:
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {overflow!r}; "
+                f"pick one of {OVERFLOW_POLICIES}"
+            )
+        if overflow == "drop" and queue_limit is None:
+            raise ValueError('overflow="drop" requires a queue_limit')
+        if overflow == "defer" and queue_limit is not None:
+            raise ValueError(
+                'queue_limit has no effect under overflow="defer"; '
+                'use overflow="drop" for a bounded queue'
+            )
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        procs = self._emulator_procs(emulator)
+        if procs is not None and workload.n_procs > procs:
+            raise ValueError(
+                f"workload spans {workload.n_procs} processors but the "
+                f"emulator has only {procs}"
+            )
+        memory = getattr(emulator, "memory", None)
+        if memory is not None and workload.address_space > memory.size:
+            raise ValueError(
+                f"workload draws addresses in [0, {workload.address_space}) "
+                f"but the emulator's memory has only {memory.size} cells"
+            )
+        if admit_limit is None:
+            admit_limit = workload.n_procs
+        if admit_limit < 1:
+            raise ValueError("admit_limit must be >= 1")
+        if exclusive is None:
+            exclusive = getattr(emulator, "mode", None) == "erew"
+        self.emulator = emulator
+        self.workload = workload
+        self.admit_limit = int(admit_limit)
+        self.queue_limit = queue_limit
+        self.overflow = overflow
+        self.exclusive = bool(exclusive)
+        #: admission queue of (request, arrival_clock) pairs, FIFO
+        self.queue: deque[tuple[TrafficRequest, int]] = deque()
+        #: virtual time in network steps (sum of served epochs' costs)
+        self.clock = 0
+        self._ran = False
+
+    @staticmethod
+    def _emulator_procs(emulator) -> int | None:
+        if hasattr(emulator, "n_processors"):
+            return int(emulator.n_processors)
+        mesh = getattr(emulator, "mesh", None)
+        if mesh is not None:
+            return int(mesh.num_nodes)
+        return None
+
+    @property
+    def backlog(self) -> int:
+        """Requests currently waiting in the admission queue."""
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    def _admit(self) -> list[tuple[TrafficRequest, int]]:
+        """Pop this epoch's FIFO batch (respecting the exclusive rule).
+
+        Exclusive mode walks the queue skipping address conflicts;
+        skipped requests are spliced back in their original order, so
+        an address's pending accesses drain one per epoch while
+        unrelated traffic flows past them.
+        """
+        batch: list[tuple[TrafficRequest, int]] = []
+        if not self.exclusive:
+            while self.queue and len(batch) < self.admit_limit:
+                batch.append(self.queue.popleft())
+            return batch
+        skipped: list[tuple[TrafficRequest, int]] = []
+        seen_addrs: set[int] = set()
+        while self.queue and len(batch) < self.admit_limit:
+            req, stamp = self.queue.popleft()
+            if req.addr in seen_addrs:
+                skipped.append((req, stamp))
+                continue
+            seen_addrs.add(req.addr)
+            batch.append((req, stamp))
+        self.queue.extendleft(reversed(skipped))
+        return batch
+
+    @staticmethod
+    def _build_step(batch: list[tuple[TrafficRequest, int]]) -> StepTrace:
+        step = StepTrace()
+        for req, _stamp in batch:
+            if req.kind == "read":
+                step.reads.append(ReadRequest(req.pid, req.addr))
+            else:
+                step.writes.append(WriteRequest(req.pid, req.addr, req.value))
+        return step
+
+    # ------------------------------------------------------------------
+    def run(self, epochs: int) -> TrafficReport:
+        """Serve *epochs* epochs of traffic; returns the telemetry report.
+
+        One-shot: the workload stream starts at epoch 0 and the driver's
+        clock at 0, so a second call would silently replay the same
+        arrivals against mutated emulator state — it raises instead.
+        """
+        if self._ran:
+            raise RuntimeError(
+                "OnlineEmulator.run is one-shot; build a fresh driver "
+                "(and emulator) to run again"
+            )
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self._ran = True
+        stream = self.workload.stream(epochs)
+        report = TrafficReport()
+        for epoch in range(epochs):
+            arrivals = stream[epoch]
+            dropped = 0
+            if self.overflow == "drop":
+                room = self.queue_limit - len(self.queue)
+                if len(arrivals) > room:
+                    dropped = len(arrivals) - max(room, 0)
+                    arrivals = arrivals[: max(room, 0)]
+            for req in arrivals:
+                self.queue.append((req, self.clock))
+            batch = self._admit()
+            if batch:
+                cost = self.emulator.emulate_step(self._build_step(batch))
+            else:
+                cost = StepCost(0, 0)
+            self.clock += cost.total_steps
+            record = EpochRecord(
+                epoch=epoch,
+                arrivals=len(arrivals) + dropped,
+                dropped=dropped,
+                admitted=len(batch),
+                backlog=len(self.queue),
+                steps=cost.total_steps,
+                request_steps=cost.request_steps,
+                reply_steps=cost.reply_steps,
+                rehashes=cost.rehashes,
+                combines=cost.combines,
+                max_queue=cost.max_queue,
+                credits_stalled=cost.credits_stalled,
+                run_modes=cost.run_modes,
+                clock=self.clock,
+                sojourns=[self.clock - stamp for _req, stamp in batch],
+                sojourns_epochs=[epoch - req.epoch for req, _stamp in batch],
+            )
+            report.add(record)
+        return report

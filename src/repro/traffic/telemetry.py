@@ -1,0 +1,284 @@
+"""Windowed service telemetry for online emulation runs.
+
+The driver (:mod:`repro.traffic.driver`) measures time in *network
+steps*: each served epoch advances a virtual clock by the PRAM step's
+routing cost (request + reply phases), so every latency below is in the
+same unit the paper's theorems bound.  A request's **sojourn** is
+``delivery_clock - arrival_clock``: the steps spent waiting in the
+admission queue (while earlier epochs were served) plus the steps of
+the epoch that served it.
+
+:class:`TrafficReport` is what benchmarks and tests consume: per-epoch
+records, sliding-window throughput and latency-percentile series,
+steady-state summaries, and the per-epoch engine-dispatch history
+(``run_modes``) that lets tests assert an online run never silently
+fell back to the per-event engine mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EpochRecord", "TrafficReport"]
+
+
+@dataclass
+class EpochRecord:
+    """Everything measured about one epoch of an online run."""
+
+    epoch: int
+    #: new requests generated this epoch (before admission control)
+    arrivals: int
+    #: arrivals rejected by the ``"drop"`` overflow policy this epoch
+    dropped: int
+    #: requests admitted into (and fully served by) this epoch's PRAM step
+    admitted: int
+    #: admission-queue depth after the epoch (deferred carry-over)
+    backlog: int
+    #: network steps charged to this epoch (0 for an idle epoch)
+    steps: int
+    request_steps: int
+    reply_steps: int
+    rehashes: int
+    combines: int
+    max_queue: int
+    credits_stalled: int
+    #: engine execution mode of every routing run in this epoch's step
+    #: (request attempts then replies); empty for idle epochs
+    run_modes: tuple[str, ...]
+    #: virtual clock (cumulative network steps) after this epoch
+    clock: int
+    #: sojourn (network steps, arrival -> delivery) of each request this
+    #: epoch delivered, in admission order
+    sojourns: list[int] = field(default_factory=list)
+    #: sojourn of the same requests measured in epochs
+    #: (serve epoch - arrival epoch)
+    sojourns_epochs: list[int] = field(default_factory=list)
+
+
+class TrafficReport:
+    """Aggregated telemetry of one :class:`~repro.traffic.OnlineEmulator` run."""
+
+    def __init__(self, epochs: list[EpochRecord] | None = None) -> None:
+        self.epochs: list[EpochRecord] = epochs if epochs is not None else []
+
+    def add(self, record: EpochRecord) -> None:
+        self.epochs.append(record)
+
+    # ---- totals ----------------------------------------------------------
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epochs)
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(e.arrivals for e in self.epochs)
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(e.admitted for e in self.epochs)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(e.dropped for e in self.epochs)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(e.steps for e in self.epochs)
+
+    @property
+    def total_rehashes(self) -> int:
+        return sum(e.rehashes for e in self.epochs)
+
+    @property
+    def final_backlog(self) -> int:
+        return self.epochs[-1].backlog if self.epochs else 0
+
+    @property
+    def sojourns(self) -> list[int]:
+        """All delivered requests' sojourns (network steps), epoch order."""
+        out: list[int] = []
+        for e in self.epochs:
+            out.extend(e.sojourns)
+        return out
+
+    # ---- dispatch history ------------------------------------------------
+    @property
+    def dispatch_history(self) -> list[tuple[str, ...]]:
+        """Per-epoch engine run modes (idle epochs contribute ``()``)."""
+        return [e.run_modes for e in self.epochs]
+
+    @property
+    def last_run_mode(self) -> str | None:
+        """Mode of the most recent routing run, ``None`` if never routed."""
+        for e in reversed(self.epochs):
+            if e.run_modes:
+                return e.run_modes[-1]
+        return None
+
+    def run_mode_counts(self) -> dict[str, int]:
+        """How many routing runs each engine mode served."""
+        counts: dict[str, int] = {}
+        for e in self.epochs:
+            for m in e.run_modes:
+                counts[m] = counts.get(m, 0) + 1
+        return counts
+
+    # ---- time series -----------------------------------------------------
+    def queue_depth_series(self) -> list[int]:
+        return [e.backlog for e in self.epochs]
+
+    def credits_stalled_series(self) -> list[int]:
+        return [e.credits_stalled for e in self.epochs]
+
+    def epoch_steps_series(self) -> list[int]:
+        return [e.steps for e in self.epochs]
+
+    def throughput_series(self, window: int = 1) -> list[float]:
+        """Delivered requests per network step over a trailing window.
+
+        Entry i covers epochs ``[i - window + 1, i]`` (fewer at the
+        start); epochs that charged no steps contribute 0 work and 0
+        time, and a window with zero total steps reports 0.0.
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        served = [e.admitted for e in self.epochs]
+        steps = [e.steps for e in self.epochs]
+        out: list[float] = []
+        for i in range(len(self.epochs)):
+            lo = max(0, i - window + 1)
+            s = sum(steps[lo : i + 1])
+            out.append(sum(served[lo : i + 1]) / s if s else 0.0)
+        return out
+
+    def sojourn_percentile_series(
+        self, q: float, window: int = 1
+    ) -> list[float]:
+        """Trailing-window q-th percentile of sojourn latency per epoch.
+
+        Windows that delivered nothing report ``nan``.
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        out: list[float] = []
+        for i in range(len(self.epochs)):
+            lo = max(0, i - window + 1)
+            samples: list[int] = []
+            for e in self.epochs[lo : i + 1]:
+                samples.extend(e.sojourns)
+            out.append(
+                float(np.percentile(samples, q)) if samples else float("nan")
+            )
+        return out
+
+    # ---- summaries -------------------------------------------------------
+    def sojourn_percentiles(
+        self, qs: tuple[float, ...] = (50.0, 95.0, 99.0), *, skip_epochs: int = 0
+    ) -> dict[str, float]:
+        """p50/p95/p99 (by default) sojourn latency in network steps.
+
+        ``skip_epochs`` discards a warmup prefix so steady-state numbers
+        are not polluted by the initially empty queue.  Empty sample
+        sets report ``nan``.
+        """
+        samples: list[int] = []
+        for e in self.epochs[skip_epochs:]:
+            samples.extend(e.sojourns)
+        if not samples:
+            return {f"p{q:g}": float("nan") for q in qs}
+        arr = np.asarray(samples, dtype=np.float64)
+        return {f"p{q:g}": float(np.percentile(arr, q)) for q in qs}
+
+    def steady_state(self, *, skip_epochs: int | None = None) -> dict[str, float]:
+        """One-row summary of the run past a warmup prefix.
+
+        ``skip_epochs`` defaults to a quarter of the run.  Keys are
+        stable (benchmarks serialize them): offered/served rates,
+        throughput per step, sojourn percentiles, mean backlog + drops,
+        and the saturation flag (backlog still growing at the end).
+        """
+        n = len(self.epochs)
+        if skip_epochs is None:
+            skip_epochs = n // 4
+        tail = self.epochs[skip_epochs:]
+        if not tail:
+            raise ValueError("no epochs past the warmup prefix")
+        steps = sum(e.steps for e in tail)
+        served = sum(e.admitted for e in tail)
+        percentiles = self.sojourn_percentiles(skip_epochs=skip_epochs)
+        return {
+            "epochs": float(len(tail)),
+            "offered_per_epoch": sum(e.arrivals for e in tail) / len(tail),
+            "served_per_epoch": served / len(tail),
+            "steps_per_epoch": steps / len(tail),
+            "throughput_per_step": served / steps if steps else 0.0,
+            "sojourn_p50": percentiles["p50"],
+            "sojourn_p95": percentiles["p95"],
+            "sojourn_p99": percentiles["p99"],
+            "mean_backlog": sum(e.backlog for e in tail) / len(tail),
+            "final_backlog": float(self.final_backlog),
+            "dropped": float(sum(e.dropped for e in tail)),
+            "credits_stalled": float(sum(e.credits_stalled for e in tail)),
+            "saturated": float(self._is_saturated(tail)),
+        }
+
+    @staticmethod
+    def _is_saturated(tail: list[EpochRecord]) -> bool:
+        """The source outruns the service: backlog trending up AND more
+        than one epoch's offered load already pending (small stable
+        queues from arrival jitter do not count)."""
+        if len(tail) < 2:
+            return False
+        mid = len(tail) // 2
+        first = sum(e.backlog for e in tail[:mid]) / max(mid, 1)
+        second = sum(e.backlog for e in tail[mid:]) / max(len(tail) - mid, 1)
+        mean_arrivals = sum(e.arrivals for e in tail) / len(tail)
+        return second > first and tail[-1].backlog > mean_arrivals
+
+    # ---- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dump (benchmarks commit these as baselines)."""
+        return {
+            "num_epochs": self.num_epochs,
+            "total_arrivals": self.total_arrivals,
+            "total_delivered": self.total_delivered,
+            "total_dropped": self.total_dropped,
+            "total_steps": self.total_steps,
+            "total_rehashes": self.total_rehashes,
+            "final_backlog": self.final_backlog,
+            "run_mode_counts": self.run_mode_counts(),
+            "epochs": [
+                {
+                    "epoch": e.epoch,
+                    "arrivals": e.arrivals,
+                    "dropped": e.dropped,
+                    "admitted": e.admitted,
+                    "backlog": e.backlog,
+                    "steps": e.steps,
+                    "request_steps": e.request_steps,
+                    "reply_steps": e.reply_steps,
+                    "rehashes": e.rehashes,
+                    "combines": e.combines,
+                    "max_queue": e.max_queue,
+                    "credits_stalled": e.credits_stalled,
+                    "run_modes": list(e.run_modes),
+                    "clock": e.clock,
+                    "sojourns": list(e.sojourns),
+                    "sojourns_epochs": list(e.sojourns_epochs),
+                }
+                for e in self.epochs
+            ],
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        p = self.sojourn_percentiles()
+        return (
+            f"TrafficReport(epochs={self.num_epochs}, "
+            f"arrivals={self.total_arrivals}, delivered={self.total_delivered}, "
+            f"dropped={self.total_dropped}, backlog={self.final_backlog}, "
+            f"steps={self.total_steps}, p50={p['p50']:.0f}, "
+            f"p99={p['p99']:.0f})"
+        )

@@ -1,5 +1,6 @@
 """Tests for the leveled-network abstraction (§2.3.1, Figures 1, 3, 4)."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -149,3 +150,40 @@ class TestStarLogical:
         path = net.unique_path(src, dst)
         assert path[-1] == dst
         assert len(path) == net.num_columns
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_unique_next_batch_matches_scalar(self, n):
+        """The table-based batch form is the scalar path, level for level.
+
+        Walks random (row, dest) pairs through every level with both the
+        scalar ``unique_next`` and the vectorized ``unique_next_batch``
+        (advancing along the batch results, so later levels exercise the
+        staged-front invariant too) and requires identical hops — ending
+        at the destinations.
+        """
+        net = StarLogicalLeveled(n)
+        rng = np.random.default_rng(7 * n)
+        N = net.column_size
+        rows = rng.integers(N, size=120)
+        dests = rng.integers(N, size=120)
+        cur = rows.copy()
+        for level in range(net.num_levels):
+            scalar = np.array(
+                [
+                    net.unique_next(level, int(r), int(d))
+                    for r, d in zip(cur, dests)
+                ]
+            )
+            batch = net.unique_next_batch(level, cur, dests)
+            assert np.array_equal(scalar, batch), f"level {level}"
+            cur = batch
+        assert np.array_equal(cur, dests)
+
+    def test_unique_next_batch_handles_identical_pairs(self):
+        """Hotspot shape: many packets sharing one (row, dest) pair."""
+        net = StarLogicalLeveled(4)
+        rows = np.full(50, 17, dtype=np.int64)
+        dests = np.full(50, 3, dtype=np.int64)
+        batch = net.unique_next_batch(0, rows, dests)
+        expected = net.unique_next(0, 17, 3)
+        assert np.array_equal(batch, np.full(50, expected))

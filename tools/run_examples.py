@@ -1,0 +1,75 @@
+"""Smoke-run every ``examples/*.py`` so examples cannot rot silently.
+
+Each example executes as its own subprocess (``PYTHONPATH=src`` is
+arranged automatically for plain checkouts) in a fast mode: scripts
+that support ``--quick`` get it, everything runs under a per-script
+timeout, and a nonzero exit or timeout fails the run.  Exit code is the
+number of failing examples.
+
+Run:  python tools/run_examples.py [example.py ...]
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: scripts that accept a CLI fast mode; everything else is already small
+QUICK_ARGS = {
+    "reproduce_all.py": ["--quick"],
+    "online_traffic_demo.py": ["--quick"],
+}
+
+TIMEOUT_S = 180
+
+
+def run_example(path: Path) -> bool:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    cmd = [sys.executable, str(path), *QUICK_ARGS.get(path.name, [])]
+    t0 = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            cmd,
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=TIMEOUT_S,
+        )
+    except subprocess.TimeoutExpired:
+        print(f"FAIL {path.name} (timeout after {TIMEOUT_S}s)")
+        return False
+    elapsed = time.perf_counter() - t0
+    if proc.returncode != 0:
+        print(f"FAIL {path.name} (exit {proc.returncode}, {elapsed:.1f}s)")
+        sys.stdout.write(proc.stdout[-2000:])
+        sys.stderr.write(proc.stderr[-4000:])
+        return False
+    print(f"ok   {path.name} ({elapsed:.1f}s)")
+    return True
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        targets = [Path(a).resolve() for a in argv]
+    else:
+        targets = sorted((REPO_ROOT / "examples").glob("*.py"))
+    if not targets:
+        print("no examples found")
+        return 1
+    failures = sum(not run_example(p) for p in targets)
+    print(f"\n{'FAILED' if failures else 'all green'}: "
+          f"{failures} failing example(s) of {len(targets)}")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
