@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.faults import RehashStormError
 from repro.pram.trace import MemoryTrace, StepTrace
 from repro.util.stats import Summary, summarize
 
@@ -31,6 +32,20 @@ class StepCost:
     #: (zero unless ``flow_control="credit"``); the traffic subsystem
     #: turns these into a per-epoch time series
     credits_stalled: int = 0
+    #: network steps burned by *failed* request attempts (missed
+    #: allotments, wedged credit runs, fault-stalled timeouts) before
+    #: the attempt that succeeded.  Excluded from ``total_steps`` so
+    #: existing bounds checks keep measuring the successful phases; the
+    #: traffic driver advances its virtual clock by
+    #: ``total_steps + stall_steps`` so retries consume real time.
+    stall_steps: int = 0
+    #: link-fault transmission stalls summed over the step's routing
+    #: phases (see :attr:`repro.routing.metrics.RoutingStats.fault_stalls`)
+    fault_stalls: int = 0
+    #: failed attempts that ended in a credit-flow-control
+    #: :class:`~repro.routing.flow_control.DeadlockError` (each one was
+    #: rehashed and retried)
+    deadlock_retries: int = 0
     #: engine execution mode of every routing run performed for this
     #: step, in order: each request attempt (rehash retries included)
     #: followed by the reply phase.  Values are
@@ -42,6 +57,24 @@ class StepCost:
     @property
     def total_steps(self) -> int:
         return self.request_steps + self.reply_steps
+
+
+@dataclass
+class AttemptLog:
+    """Accounting across one step's request-phase attempts.
+
+    Both emulators thread one of these through their rehash/retry loops
+    so the fault bookkeeping (failed-attempt steps, fault stalls,
+    deadlock retries, fail-fast detections) lands in the
+    :class:`StepCost` identically on either network.
+    """
+
+    rehashes: int = 0
+    stall_steps: int = 0
+    fault_stalls: int = 0
+    deadlock_retries: int = 0
+    fault_failfasts: int = 0
+    run_modes: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -70,6 +103,18 @@ class EmulationReport:
     @property
     def total_combines(self) -> int:
         return sum(c.combines for c in self.costs)
+
+    @property
+    def total_stall_steps(self) -> int:
+        return sum(c.stall_steps for c in self.costs)
+
+    @property
+    def total_fault_stalls(self) -> int:
+        return sum(c.fault_stalls for c in self.costs)
+
+    @property
+    def total_deadlock_retries(self) -> int:
+        return sum(c.deadlock_retries for c in self.costs)
 
     @property
     def max_queue(self) -> int:
@@ -107,6 +152,46 @@ class Emulator(ABC):
     @abstractmethod
     def emulate_step(self, step: StepTrace) -> StepCost:
         """Emulate one PRAM instruction; returns its network cost."""
+
+    def _prepare_attempt(
+        self, step: StepTrace, fault_base: int, log: AttemptLog, *, rehash=True
+    ) -> list:
+        """Liveness refresh + fail-fast detection before one routing
+        attempt (shared by the concrete emulators, which provide
+        ``faults``/``rehash``/``max_rehashes``/``_build_request_packets``).
+
+        Revives become visible, then any request aimed at an
+        *undetected* dead module fails fast — the module's home switch
+        NACKs, costing zero network steps — and the emulator
+        acknowledges the kill and (with hashed placement) rehashes, the
+        §2.1 recovery path.  Loops because a surrogate can itself be
+        undetected-dead; the storm guard bounds kill/revive flapping.
+        """
+        faults = self.faults
+        if faults.has_module_faults:
+            faults.refresh(fault_base)
+        packets = self._build_request_packets(step)
+        while faults.has_module_faults:
+            dead = faults.undetected_dead(fault_base)
+            if not dead or not any(p.dest in dead for p in packets):
+                break
+            faults.acknowledge(fault_base)
+            if rehash:
+                self.rehash()
+                log.rehashes += 1
+            log.fault_failfasts += 1
+            log.run_modes.append("fault-failfast")
+            if log.fault_failfasts > self.max_rehashes + faults.num_modules:
+                raise RehashStormError(
+                    "fault detections keep forcing rehashes",
+                    rehashes=log.rehashes,
+                    stall_steps=log.stall_steps,
+                    deadlock_retries=log.deadlock_retries,
+                    fault_failfasts=log.fault_failfasts,
+                    run_modes=tuple(log.run_modes),
+                )
+            packets = self._build_request_packets(step)
+        return packets
 
     @property
     @abstractmethod

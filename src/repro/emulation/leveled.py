@@ -25,13 +25,14 @@ from typing import Literal
 
 import numpy as np
 
-from repro.emulation.base import Emulator, StepCost
+from repro.emulation.base import AttemptLog, Emulator, StepCost
 from repro.emulation.combining import (
     ReplySpawner,
     build_replies,
     reply_next_hop,
     route_replies_fast,
 )
+from repro.faults import FaultState, RehashStormError
 from repro.hashing.family import HashFamily, degree_for_diameter
 from repro.pram.memory import SharedMemory
 from repro.pram.trace import StepTrace
@@ -99,6 +100,7 @@ class LeveledEmulator(Emulator):
         seed=None,
         validate: bool = True,
         engine: str = "auto",
+        faults=None,
     ) -> None:
         if mode not in ("erew", "crcw"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -125,6 +127,23 @@ class LeveledEmulator(Emulator):
         )
         self.hash = self.family.sample(self.rng)
         self.rehash_count = 0
+        # Fault model: modules are last-column rows, processors are
+        # column-0 rows.  Link specs are (col, u_row, v_row) wires.
+        self.faults = FaultState(
+            faults,
+            num_modules=net.column_size,
+            num_processors=net.column_size,
+        )
+        if self.faults.link_timeline is not None:
+            for e in self.faults.schedule.link_events:
+                c, u, v = e.target
+                L, N = net.num_levels, net.column_size
+                if not (0 <= c < L and 0 <= u < N and 0 <= v < N):
+                    raise ValueError(f"link fault spec {e.target!r} out of range")
+        #: global virtual-network clock: advanced by each emulated step's
+        #: ``total_steps + stall_steps`` so the fault schedule is sampled
+        #: on one continuous timeline across steps and phases
+        self.virtual_clock = 0
 
     # ------------------------------------------------------------------
     @property
@@ -141,6 +160,10 @@ class LeveledEmulator(Emulator):
         self.hash = self.family.sample(self.rng)
         self.rehash_count += 1
 
+    def module_of(self, addr: int) -> int:
+        """Module currently serving ``addr`` (dead modules remapped)."""
+        return self.faults.map_module(int(self.hash(addr)))
+
     # ------------------------------------------------------------------
     def _build_request_packets(self, step: StepTrace) -> list[Packet]:
         # One vectorized hash evaluation covers the whole step: the
@@ -151,7 +174,14 @@ class LeveledEmulator(Emulator):
         addrs += [w.addr for w in step.writes]
         if not addrs:
             return []
-        modules = self.hash.map(np.asarray(addrs, dtype=np.int64)).tolist()
+        module_arr = self.hash.map(np.asarray(addrs, dtype=np.int64))
+        if self.faults.known_dead:
+            # Addresses hashed to a detected-dead module are served by
+            # its deterministic surrogate (next live module, cyclic) —
+            # engine-independent, so differential runs stay identical.
+            module_arr = self.faults.map_modules(module_arr)
+        modules = module_arr.tolist()
+        remap_procs = self.faults.has_processor_faults
         packets: list[Packet] = []
         pid = 0
         for r in step.reads:
@@ -159,9 +189,10 @@ class LeveledEmulator(Emulator):
                 raise ValueError(
                     f"processor {r.pid} exceeds network size {self.n_processors}"
                 )
+            src = self.faults.map_processor(r.pid) if remap_procs else r.pid
             p = Packet(
                 pid,
-                (0, 0, r.pid),
+                (0, 0, src),
                 int(modules[pid]),
                 kind="read",
                 address=r.addr,
@@ -173,9 +204,10 @@ class LeveledEmulator(Emulator):
                 raise ValueError(
                     f"processor {w.pid} exceeds network size {self.n_processors}"
                 )
+            src = self.faults.map_processor(w.pid) if remap_procs else w.pid
             p = Packet(
                 pid,
-                (0, 0, w.pid),
+                (0, 0, src),
                 int(modules[pid]),
                 kind="write",
                 address=w.addr,
@@ -196,7 +228,7 @@ class LeveledEmulator(Emulator):
         # Allotment below the 2L path length guarantees timeouts; that is
         # intentional (tests force rehash storms this way).
         allotment = max(int(self.rehash_factor * 2 * L), 1)
-        rehashes = 0
+        log = AttemptLog()
 
         # The fast engine only engages when trajectories are compilable
         # (node mode, or coin mode on a uniform-degree network); when the
@@ -206,7 +238,7 @@ class LeveledEmulator(Emulator):
             self.intermediate == "node" or self.net.uniform_out_degree
         )
 
-        def make_router():
+        def make_router(fault_base: int):
             return LeveledRouter(
                 self.net,
                 intermediate=self.intermediate,
@@ -216,32 +248,54 @@ class LeveledEmulator(Emulator):
                 flow_control=self.flow_control,
                 track_paths=not fast_engages,
                 engine=mode,
+                link_faults=self.faults.link_timeline,
+                fault_base=fault_base,
             )
 
-        modes: list[str] = []
         for attempt in range(self.max_rehashes + 1):
-            router = make_router()
-            packets = self._build_request_packets(step)
+            # Each attempt starts where the previous one gave up: failed
+            # steps accumulate into the global fault timeline.
+            fault_base = self.virtual_clock + log.stall_steps
+            packets = self._prepare_attempt(step, fault_base, log)
+            router = make_router(fault_base)
+            wedged = False
             try:
                 stats = router.route_packets(packets, max_steps=allotment)
             except DeadlockError as exc:
                 # A wedged attempt is just a failed attempt: a rehash
                 # redraws the trajectories.
                 stats = exc.stats
-            modes.append(stats.run_mode)
+                wedged = True
+            log.run_modes.append(stats.run_mode)
+            log.fault_stalls += stats.fault_stalls
             if stats.completed:
-                return router, packets, stats, rehashes, modes
+                return router, packets, stats, log
+            log.stall_steps += stats.steps
+            if wedged:
+                log.deadlock_retries += 1
             if attempt < self.max_rehashes:
                 self.rehash()
-                rehashes += 1
+                log.rehashes += 1
         # Last resort: generous budget so the emulation still terminates.
-        router = make_router()
-        packets = self._build_request_packets(step)
+        fault_base = self.virtual_clock + log.stall_steps
+        packets = self._prepare_attempt(step, fault_base, log)
+        router = make_router(fault_base)
         stats = router.route_packets(packets, max_steps=400 * L + 1000)
-        modes.append(stats.run_mode)
+        log.run_modes.append(stats.run_mode)
+        log.fault_stalls += stats.fault_stalls
         if not stats.completed:
+            if self.faults.schedule:
+                raise RehashStormError(
+                    "request routing failed even after rehashes "
+                    "(fault schedule active)",
+                    rehashes=log.rehashes,
+                    stall_steps=log.stall_steps + stats.steps,
+                    deadlock_retries=log.deadlock_retries,
+                    fault_failfasts=log.fault_failfasts,
+                    run_modes=tuple(log.run_modes),
+                )
             raise RuntimeError("request routing failed even after rehashes")
-        return router, packets, stats, rehashes, modes
+        return router, packets, stats, log
 
     # ------------------------------------------------------------------
     def emulate_step(self, step: StepTrace) -> StepCost:
@@ -252,9 +306,8 @@ class LeveledEmulator(Emulator):
             )
 
         mode = resolve_engine_mode(self.engine_mode)
-        router, packets, req_stats, rehashes, run_modes = self._route_requests(
-            step, mode
-        )
+        router, packets, req_stats, log = self._route_requests(step, mode)
+        run_modes = log.run_modes
         hosts = [p for p in packets if not p.combined]
 
         # Memory semantics: reads see pre-step state, then writes land.
@@ -302,16 +355,21 @@ class LeveledEmulator(Emulator):
             if self.validate:
                 self._check_replies(step, packets, spawner, replies)
 
-        return StepCost(
+        cost = StepCost(
             request_steps=req_stats.steps,
             reply_steps=reply_steps,
-            rehashes=rehashes,
+            rehashes=log.rehashes,
             combines=req_stats.combines,
             max_queue=max_queue,
             requests=step.num_requests,
             credits_stalled=credits_stalled,
+            stall_steps=log.stall_steps,
+            fault_stalls=log.fault_stalls,
+            deadlock_retries=log.deadlock_retries,
             run_modes=tuple(run_modes),
         )
+        self.virtual_clock += cost.total_steps + cost.stall_steps
+        return cost
 
     def _route_replies_fast(self, hosts, values, packets, int_paths, budget: int):
         """Reply fan-out on the compiled fast engine (shared helper)."""

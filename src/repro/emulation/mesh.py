@@ -30,13 +30,14 @@ from typing import Literal
 
 import numpy as np
 
-from repro.emulation.base import Emulator, StepCost
+from repro.emulation.base import AttemptLog, Emulator, StepCost
 from repro.emulation.combining import (
     ReplySpawner,
     build_replies,
     reply_next_hop,
     route_replies_fast,
 )
+from repro.faults import FaultState, RehashStormError
 from repro.hashing.family import HashFamily, degree_for_diameter
 from repro.pram.memory import SharedMemory
 from repro.pram.trace import StepTrace
@@ -105,6 +106,7 @@ class MeshEmulator(Emulator):
         seed=None,
         validate: bool = True,
         engine: str = "auto",
+        faults=None,
     ) -> None:
         if mode not in ("erew", "crcw"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -138,6 +140,25 @@ class MeshEmulator(Emulator):
         )
         self.hash = self.family.sample(self.rng)
         self.rehash_count = 0
+        # Fault model: every mesh node is both a processor and a memory
+        # module, so both id spaces are [0, num_nodes).  Link specs are
+        # (u, v) packed-node-id pairs and must be mesh edges.
+        self.faults = FaultState(faults, num_modules=n, num_processors=n)
+        if self.faults.link_timeline is not None:
+            for e in self.faults.schedule.link_events:
+                u, v = e.target
+                if not (0 <= u < n and 0 <= v < n):
+                    raise ValueError(f"link fault spec {e.target!r} out of range")
+                ur, uc = mesh.unpack(u)
+                vr, vc = mesh.unpack(v)
+                if abs(ur - vr) + abs(uc - vc) != 1:
+                    raise ValueError(
+                        f"link fault spec {e.target!r} is not a mesh edge"
+                    )
+        #: global virtual-network clock: advanced by each emulated step's
+        #: ``total_steps + stall_steps`` so the fault schedule is sampled
+        #: on one continuous timeline across steps and phases
+        self.virtual_clock = 0
 
     # ------------------------------------------------------------------
     @property
@@ -146,15 +167,15 @@ class MeshEmulator(Emulator):
         return float(self.mesh.rows)
 
     def module_of(self, addr: int) -> int:
-        if self.placement == "direct":
-            return addr
-        return int(self.hash(addr))
+        """Module currently serving ``addr`` (dead modules remapped)."""
+        home = addr if self.placement == "direct" else int(self.hash(addr))
+        return self.faults.map_module(home)
 
     def rehash(self) -> None:
         self.hash = self.family.sample(self.rng)
         self.rehash_count += 1
 
-    def _make_router(self, engine_mode: str) -> MeshRouter:
+    def _make_router(self, engine_mode: str, fault_base: int = 0) -> MeshRouter:
         # Traces are only recorded on the reference engine — the fast
         # CRCW reply phase rebuilds reverse itineraries from the router's
         # compiled integer paths instead.
@@ -167,6 +188,8 @@ class MeshEmulator(Emulator):
             track_paths=(self.mode == "crcw" and engine_mode == "reference"),
             combine=(self.mode == "crcw"),
             engine=engine_mode,
+            link_faults=self.faults.link_timeline,
+            fault_base=fault_base,
         )
 
     # ------------------------------------------------------------------
@@ -180,28 +203,37 @@ class MeshEmulator(Emulator):
         if not addrs:
             return []
         if self.placement == "direct":
-            modules = addrs
+            module_arr = np.asarray(addrs, dtype=np.int64)
         else:
-            modules = self.hash.map(np.asarray(addrs, dtype=np.int64)).tolist()
+            module_arr = self.hash.map(np.asarray(addrs, dtype=np.int64))
+        if self.faults.known_dead:
+            # Addresses homed on a detected-dead module are served by
+            # its deterministic surrogate (next live module, cyclic) —
+            # engine-independent, so differential runs stay identical.
+            module_arr = self.faults.map_modules(module_arr)
+        modules = module_arr.tolist()
+        remap_procs = self.faults.has_processor_faults
         packets: list[Packet] = []
         pid = 0
         n = self.mesh.num_nodes
         for r in step.reads:
             if r.pid >= n:
                 raise ValueError(f"processor {r.pid} exceeds mesh size {n}")
+            src = self.faults.map_processor(r.pid) if remap_procs else r.pid
             packets.append(
                 Packet(
-                    pid, r.pid, int(modules[pid]), kind="read", address=r.addr
+                    pid, src, int(modules[pid]), kind="read", address=r.addr
                 )
             )
             pid += 1
         for w in step.writes:
             if w.pid >= n:
                 raise ValueError(f"processor {w.pid} exceeds mesh size {n}")
+            src = self.faults.map_processor(w.pid) if remap_procs else w.pid
             packets.append(
                 Packet(
                     pid,
-                    w.pid,
+                    src,
                     int(modules[pid]),
                     kind="write",
                     address=w.addr,
@@ -214,11 +246,19 @@ class MeshEmulator(Emulator):
     def _route_requests(self, step: StepTrace, engine_mode: str):
         n = self.mesh.rows + self.mesh.cols
         allotment = max(int(self.rehash_factor * n), n + 4)
-        rehashes = 0
-        modes: list[str] = []
+        log = AttemptLog()
+        hashed = self.placement == "hash"
         for _attempt in range(self.max_rehashes + 1):
-            router = self._make_router(engine_mode)
-            packets = self._build_request_packets(step)
+            # Each attempt starts where the previous one gave up: failed
+            # steps accumulate into the global fault timeline.  Direct
+            # placement still fail-fast-detects kills, it just cannot
+            # rehash (the remap alone reroutes the address).
+            fault_base = self.virtual_clock + log.stall_steps
+            packets = self._prepare_attempt(
+                step, fault_base, log, rehash=hashed
+            )
+            router = self._make_router(engine_mode, fault_base)
+            wedged = False
             try:
                 stats = router.route(
                     None, None, max_steps=allotment, packets=packets
@@ -227,20 +267,37 @@ class MeshEmulator(Emulator):
                 # A wedged attempt is just a failed attempt: a rehash
                 # (and fresh stage-1 rows) redraws the trajectories.
                 stats = exc.stats
-            modes.append(stats.run_mode)
+                wedged = True
+            log.run_modes.append(stats.run_mode)
+            log.fault_stalls += stats.fault_stalls
             if stats.completed:
-                return router, packets, stats, rehashes, modes
-            if self.placement == "direct":
+                return router, packets, stats, log
+            log.stall_steps += stats.steps
+            if wedged:
+                log.deadlock_retries += 1
+            if not hashed:
                 break  # rehashing cannot help direct placement
             self.rehash()
-            rehashes += 1
-        router = self._make_router(engine_mode)
-        packets = self._build_request_packets(step)
+            log.rehashes += 1
+        fault_base = self.virtual_clock + log.stall_steps
+        packets = self._prepare_attempt(step, fault_base, log, rehash=hashed)
+        router = self._make_router(engine_mode, fault_base)
         stats = router.route(None, None, max_steps=500 * n + 2000, packets=packets)
-        modes.append(stats.run_mode)
+        log.run_modes.append(stats.run_mode)
+        log.fault_stalls += stats.fault_stalls
         if not stats.completed:
+            if self.faults.schedule:
+                raise RehashStormError(
+                    "mesh request routing failed after rehashes "
+                    "(fault schedule active)",
+                    rehashes=log.rehashes,
+                    stall_steps=log.stall_steps + stats.steps,
+                    deadlock_retries=log.deadlock_retries,
+                    fault_failfasts=log.fault_failfasts,
+                    run_modes=tuple(log.run_modes),
+                )
             raise RuntimeError("mesh request routing failed after rehashes")
-        return router, packets, stats, rehashes, modes
+        return router, packets, stats, log
 
     # ------------------------------------------------------------------
     def emulate_step(self, step: StepTrace) -> StepCost:
@@ -250,9 +307,8 @@ class MeshEmulator(Emulator):
             )
 
         engine_mode = resolve_engine_mode(self.engine_mode)
-        router, packets, req_stats, rehashes, run_modes = self._route_requests(
-            step, engine_mode
-        )
+        router, packets, req_stats, log = self._route_requests(step, engine_mode)
+        run_modes = log.run_modes
         hosts = [p for p in packets if not p.combined]
         read_hosts = [p for p in hosts if p.kind == "read"]
         values = {p.pid: self.memory.read(p.address) for p in read_hosts}
@@ -297,27 +353,46 @@ class MeshEmulator(Emulator):
                 else:
                     reply_stats = self._replies_reverse_path(read_hosts, values)
             else:
-                reply_stats = self._replies_fresh_route(read_hosts, values, engine_mode)
+                reply_stats = self._replies_fresh_route(
+                    read_hosts,
+                    values,
+                    engine_mode,
+                    fault_base=self.virtual_clock + log.stall_steps + req_stats.steps,
+                )
             reply_steps = reply_stats.steps
             max_queue = max(max_queue, reply_stats.max_queue)
             credits_stalled += reply_stats.credits_stalled
+            log.fault_stalls += reply_stats.fault_stalls
             run_modes.append(reply_stats.run_mode)
 
-        return StepCost(
+        cost = StepCost(
             request_steps=req_stats.steps,
             reply_steps=reply_steps,
-            rehashes=rehashes,
+            rehashes=log.rehashes,
             combines=req_stats.combines,
             max_queue=max_queue,
             requests=step.num_requests,
             credits_stalled=credits_stalled,
+            stall_steps=log.stall_steps,
+            fault_stalls=log.fault_stalls,
+            deadlock_retries=log.deadlock_retries,
             run_modes=tuple(run_modes),
         )
+        self.virtual_clock += cost.total_steps + cost.stall_steps
+        return cost
 
-    def _replies_fresh_route(self, read_hosts, values, engine_mode: str):
+    def _replies_fresh_route(
+        self, read_hosts, values, engine_mode: str, fault_base: int = 0
+    ):
         """EREW replies: an independent run of the 3-stage router from the
-        modules back to the requesting processors (the paper's phase 2)."""
-        router = self._make_router(engine_mode)
+        modules back to the requesting processors (the paper's phase 2).
+
+        Link faults apply here too (a down link stalls replies exactly
+        like requests), but there is no retry loop: the generous budget
+        rides out transient flaps, while a link held down past it is
+        surfaced as a hard error (see docs/faults.md).
+        """
+        router = self._make_router(engine_mode, fault_base)
         replies = [
             Packet(i, host.node, host.source, kind="reply", payload=values[host.pid])
             for i, host in enumerate(read_hosts)

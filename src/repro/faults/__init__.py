@@ -1,0 +1,26 @@
+"""Seeded, deterministic fault injection for the PRAM emulation stack.
+
+Specs (:class:`FaultPlan`, :class:`FaultSchedule`) are plain data;
+:class:`FaultState` interprets them at emulation time (detection lag,
+dead-module remap, link-fault views).  See ``docs/faults.md``.
+"""
+
+from repro.faults.plan import (
+    FaultConfigError,
+    FaultEvent,
+    FaultPlan,
+    FaultSchedule,
+    RehashStormError,
+)
+from repro.faults.runtime import FaultState, LinkFaultTimeline, LinkFaultView
+
+__all__ = [
+    "FaultConfigError",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSchedule",
+    "FaultState",
+    "LinkFaultTimeline",
+    "LinkFaultView",
+    "RehashStormError",
+]

@@ -1,0 +1,228 @@
+"""Fault specifications: what breaks, and when.
+
+Two declarative inputs describe a faulty machine:
+
+* :class:`FaultPlan` — *static* faults in the sense of the
+  static-fault PRAM model (PAPERS.md): a fixed set of memory modules
+  and/or processors dead from virtual step 0.
+* :class:`FaultSchedule` — *timed* faults: module kill/revive and link
+  down/up events pinned to **virtual-clock steps** (the same network
+  steps the emulators' telemetry counts), plus optional per-link
+  latency inflation (a slow link transmits only every ``period``-th
+  step).  A schedule embeds a plan for its static part.
+
+Both are plain data — no randomness, no state.  The runtime
+interpretation (detection lag, remapping, engine stalls) lives in
+:mod:`repro.faults.runtime`.
+
+Link naming
+-----------
+Link specs are topology-level names, translated to engine keys by the
+router that consumes them:
+
+* mesh — ``(u, v)``: the directed wire from node id ``u`` to adjacent
+  node id ``v``;
+* leveled network — ``(col, u_row, v_row)``: the directed wire from
+  row ``u_row`` in column ``col`` to row ``v_row`` in column
+  ``col + 1`` (it is blocked on *both* passes of the two-pass
+  emulation scheme, matching a physical cable cut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "FaultConfigError",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSchedule",
+    "RehashStormError",
+]
+
+
+class FaultConfigError(ValueError):
+    """A fault specification that cannot be realized (e.g. every
+    module dead, or an out-of-range module id)."""
+
+
+class RehashStormError(RuntimeError):
+    """Request routing kept failing until the rehash budget ran out.
+
+    Raised by the emulators instead of a bare ``RuntimeError`` when a
+    step exhausts ``max_rehashes`` *and* the generous last-resort
+    budget.  Carries enough diagnostics for a service loop
+    (:class:`~repro.traffic.OnlineEmulator`) to charge the wasted
+    steps, count the storm, and retry or dead-letter the batch.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rehashes: int = 0,
+        stall_steps: int = 0,
+        deadlock_retries: int = 0,
+        fault_failfasts: int = 0,
+        run_modes: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        #: rehashes burned before giving up
+        self.rehashes = rehashes
+        #: network steps spent on the failed routing attempts
+        self.stall_steps = stall_steps
+        #: attempts that ended in a flow-control ``DeadlockError``
+        self.deadlock_retries = deadlock_retries
+        #: attempts skipped because the hash aimed at a known-dead module
+        self.fault_failfasts = fault_failfasts
+        #: engine mode of every attempt that actually routed
+        self.run_modes = tuple(run_modes)
+
+
+#: event kinds a schedule may contain, in the order they are applied
+#: when several share a step
+EVENT_KINDS = (
+    "kill_module",
+    "revive_module",
+    "link_down",
+    "link_up",
+    "slow_link",
+    "restore_link",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault transition at virtual-clock step ``step``."""
+
+    step: int
+    kind: str
+    #: module id for module events; link spec tuple for link events
+    target: object
+    #: ``slow_link`` only: transmit every ``period``-th step (>= 2)
+    period: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise FaultConfigError(
+                f"unknown fault event kind {self.kind!r}; "
+                f"pick one of {EVENT_KINDS}"
+            )
+        if self.step < 0:
+            raise FaultConfigError("fault event step must be >= 0")
+        if self.kind == "slow_link":
+            if self.period is None or self.period < 2:
+                raise FaultConfigError("slow_link needs period >= 2")
+        elif self.period is not None:
+            raise FaultConfigError(f"{self.kind} takes no period")
+
+    def describe(self) -> str:
+        """Stable human/JSON-friendly label, e.g. ``kill_module(12)@50``."""
+        extra = f", period={self.period}" if self.period is not None else ""
+        return f"{self.kind}({self.target}{extra})@{self.step}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Static faults: dead from virtual step 0, forever.
+
+    Matches the static-fault model: the fault set is fixed before the
+    computation starts and known to the emulator (no detection lag), so
+    dead modules are remapped out of the address hash up front and dead
+    processors hand their requests to a live proxy.
+    """
+
+    dead_modules: frozenset[int] = frozenset()
+    dead_processors: frozenset[int] = frozenset()
+
+    def __init__(
+        self,
+        *,
+        dead_modules: Iterable[int] = (),
+        dead_processors: Iterable[int] = (),
+    ) -> None:
+        object.__setattr__(self, "dead_modules", frozenset(map(int, dead_modules)))
+        object.__setattr__(
+            self, "dead_processors", frozenset(map(int, dead_processors))
+        )
+        for m in self.dead_modules | self.dead_processors:
+            if m < 0:
+                raise FaultConfigError("fault ids must be >= 0")
+
+    def __bool__(self) -> bool:
+        return bool(self.dead_modules or self.dead_processors)
+
+
+@dataclass
+class FaultSchedule:
+    """Timed faults on top of an optional static plan.
+
+    Build one with the fluent helpers::
+
+        sched = (
+            FaultSchedule()
+            .kill_module(50, 12)
+            .revive_module(400, 12)
+            .link_down(100, (3, 4))
+            .link_up(160, (3, 4))
+            .slow_link(0, (8, 9), period=3)
+        )
+
+    Steps are **virtual-clock steps** — the cumulative network-step
+    clock the emulators advance (``Emulator.virtual_clock``, which the
+    online driver's ``TrafficReport`` exposes per epoch), *not* epoch
+    indices.  Events at the same step apply in :data:`EVENT_KINDS`
+    order (kills before revives, downs before ups), so a same-step
+    kill+revive leaves the module alive.
+    """
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    events: list[FaultEvent] = field(default_factory=list)
+
+    # -- fluent builders ------------------------------------------------
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        self.events.append(event)
+        return self
+
+    def kill_module(self, step: int, module: int) -> "FaultSchedule":
+        return self.add(FaultEvent(int(step), "kill_module", int(module)))
+
+    def revive_module(self, step: int, module: int) -> "FaultSchedule":
+        return self.add(FaultEvent(int(step), "revive_module", int(module)))
+
+    def link_down(self, step: int, link: tuple) -> "FaultSchedule":
+        return self.add(FaultEvent(int(step), "link_down", tuple(link)))
+
+    def link_up(self, step: int, link: tuple) -> "FaultSchedule":
+        return self.add(FaultEvent(int(step), "link_up", tuple(link)))
+
+    def slow_link(self, step: int, link: tuple, *, period: int) -> "FaultSchedule":
+        return self.add(
+            FaultEvent(int(step), "slow_link", tuple(link), period=int(period))
+        )
+
+    def restore_link(self, step: int, link: tuple) -> "FaultSchedule":
+        return self.add(FaultEvent(int(step), "restore_link", tuple(link)))
+
+    # -- views ----------------------------------------------------------
+    @property
+    def module_events(self) -> list[FaultEvent]:
+        out = [e for e in self.events if e.kind in ("kill_module", "revive_module")]
+        return sorted(out, key=_event_order)
+
+    @property
+    def link_events(self) -> list[FaultEvent]:
+        out = [
+            e
+            for e in self.events
+            if e.kind in ("link_down", "link_up", "slow_link", "restore_link")
+        ]
+        return sorted(out, key=_event_order)
+
+    def __bool__(self) -> bool:
+        return bool(self.plan) or bool(self.events)
+
+
+def _event_order(e: FaultEvent) -> tuple[int, int]:
+    return (e.step, EVENT_KINDS.index(e.kind))

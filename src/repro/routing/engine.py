@@ -164,6 +164,8 @@ class SynchronousEngine:
         max_steps: int,
         raise_on_timeout: bool = False,
         on_arrival: Callable[[Packet], "list[Packet] | None"] | None = None,
+        link_faults=None,
+        fault_base: int = 0,
     ) -> RoutingStats:
         """Route *packets* until all are delivered or *max_steps* elapse.
 
@@ -172,6 +174,14 @@ class SynchronousEngine:
         equal ``p.node``).  This implements reply fan-out along combining
         trees: a reply that reaches a merge point spawns the replies of the
         packets absorbed there (Theorem 2.6's direction bits).
+
+        ``link_faults`` is an optional
+        :class:`~repro.faults.runtime.LinkFaultView` whose keys are this
+        run's ``(u, w)`` link keys: a blocked link holds its queue (and
+        any escape occupant crossing it) exactly like a zero-credit
+        link, counted in ``fault_stalls``.  Blocked states are sampled
+        at the *global* virtual step ``fault_base + t``, so a multi-run
+        emulation step sees one consistent timeline.
         """
         queues: dict[tuple[Hashable, Hashable], LinkQueue] = {}
         node_load: dict[Hashable, int] = defaultdict(int)
@@ -188,6 +198,7 @@ class SynchronousEngine:
         max_queue = 0
         max_node_load = 0
         combines = 0
+        fault_stalls = 0
         deadlocked = False
         all_packets = list(packets)
         remaining = len(all_packets)
@@ -285,9 +296,18 @@ class SynchronousEngine:
             arrivals: list[Packet] = []
             newly_empty: list[tuple[Hashable, Hashable]] = []
             capacity = self.node_capacity
+            blocked: frozenset = frozenset()
+            if link_faults is not None:
+                fstatic, fextra = link_faults.parts_at(fault_base + t)
+                blocked = fstatic.union(fextra) if fextra else fstatic
+            fault_blocked_step = False
             if capacity is None and self.node_service_rate is None:
                 # Unconstrained hot loop: no capacity bookkeeping at all.
                 for key in active:
+                    if blocked and key in blocked:
+                        fault_stalls += 1
+                        fault_blocked_step = True
+                        continue
                     q = queues[key]
                     p = q.pop()
                     node_load[key[0]] -= 1
@@ -341,6 +361,10 @@ class SynchronousEngine:
                     for el in list(fc.escape_at):
                         p = fc.escape_at[el]
                         nl = fc.escape_next[el]
+                        if blocked and nl in blocked:
+                            fault_stalls += 1
+                            fault_blocked_step = True
+                            continue
                         if nl in used:
                             fc.stall()
                             continue
@@ -363,6 +387,10 @@ class SynchronousEngine:
                     # Bulk subphase: credit-starved heads take the escape
                     # buffer of the link they cross instead of stalling.
                     for key in active:
+                        if blocked and key in blocked:
+                            fault_stalls += 1
+                            fault_blocked_step = True
+                            continue
                         if key in used:
                             fc.stall()
                             continue
@@ -375,6 +403,10 @@ class SynchronousEngine:
                             fc.stall()
                 elif self.node_service_rate is None:
                     for key in active:
+                        if blocked and key in blocked:
+                            fault_stalls += 1
+                            fault_blocked_step = True
+                            continue
                         if stalled(key):
                             continue  # backpressure: hold the link this step
                         transmit(key)
@@ -390,9 +422,13 @@ class SynchronousEngine:
                         for key in keys:
                             if slots == 0:
                                 break
-                            # A capacity-stalled link must not burn one of
-                            # the node's service slots while a ready link
-                            # idles.
+                            # A fault-blocked or capacity-stalled link must
+                            # not burn one of the node's service slots while
+                            # a ready link idles.
+                            if blocked and key in blocked:
+                                fault_stalls += 1
+                                fault_blocked_step = True
+                                continue
                             if capacity is not None and stalled(key):
                                 continue
                             transmit(key)
@@ -400,9 +436,12 @@ class SynchronousEngine:
             for key in newly_empty:
                 active.pop(key, None)
 
-            if not arrivals and not pending_times:
-                # No transmission and no future injections: the state is
+            if not arrivals and not pending_times and not fault_blocked_step:
+                # No transmission, no future injections, and no link held
+                # back by a (possibly transient) fault: the state is
                 # provably static forever.  Report instead of spinning.
+                # A fault-blocked step instead just burns time — the
+                # schedule may revive the wire.
                 deadlocked = True
                 break
 
@@ -420,6 +459,7 @@ class SynchronousEngine:
             max_node_load=max_node_load,
             credits_stalled=fc.credits_stalled if fc is not None else 0,
             escape_hops=fc.escape_hops if fc is not None else 0,
+            fault_stalls=fault_stalls,
             run_mode="reference",
         )
         if deadlocked:

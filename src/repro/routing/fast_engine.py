@@ -183,6 +183,8 @@ class FastPathEngine:
         hook_filter: Callable[[Packet], bool] | None = None,
         node_key: Callable[[int, int], object] | None = None,
         trace_key: Callable[[int, int], object] | None = None,
+        link_faults=None,
+        fault_base: int = 0,
     ) -> RoutingStats:
         """Route *packets* along *paths* until delivery or *max_steps*.
 
@@ -217,6 +219,14 @@ class FastPathEngine:
         pass (the constrained mode derives ``link_dst`` from the path
         matrix when only the pair is given); the per-event mode ignores
         it.
+
+        ``link_faults`` is an optional
+        :class:`~repro.faults.runtime.LinkFaultView` whose keys are
+        ``(u, w)`` integer node-id pairs: a blocked link holds its
+        queue (and any escape occupant crossing it) this step, counted
+        in ``fault_stalls``; states are sampled at the global step
+        ``fault_base + t`` — semantics identical to the reference
+        engine's, so differential tests stay bit-exact.
 
         ``spawn_plan`` is the static alternative to ``on_arrival`` for
         reply fan-out: entries ``(parent, position, children)`` mean that
@@ -312,6 +322,8 @@ class FastPathEngine:
                 raise_on_timeout=raise_on_timeout,
                 node_key=node_key,
                 trace_key=trace_key,
+                link_faults=link_faults,
+                fault_base=fault_base,
             )
         if spawn_plan is not None:
             raise ValueError(
@@ -363,9 +375,10 @@ class FastPathEngine:
                 link_src = (uniq // num_nodes).tolist()
                 link_dst = (uniq % num_nodes).tolist()
                 link_rows = inverse.reshape(codes.shape).tolist()
-                if on_arrival is not None:
+                if on_arrival is not None or link_faults is not None:
                     # Spawned packets intern their links dynamically and
-                    # must share the dense id space.
+                    # must share the dense id space; fault views resolve
+                    # their (u, w) pairs through the same code table.
                     link_of = dict(zip(uniq.tolist(), range(uniq.size)))
             else:
                 link_rows = [[] for _ in range(n)]
@@ -564,6 +577,14 @@ class FastPathEngine:
 
         t = 0
         deadlocked = False
+        fault_stalls = 0
+        f_blocked_li: set[int] | None = None
+        if link_faults is not None:
+            # Fault pairs resolve through link_of (code -> dense index);
+            # the static part is cached per timeline segment.
+            f_last_static: frozenset | None = None
+            f_static_li: set[int] = set()
+            f_n_links = len(link_src)
         simple = capacity is None and service_rate is None
         if not simple:
             # Constrained transmission state and helpers, hoisted out of
@@ -627,6 +648,25 @@ class FastPathEngine:
                     f"{remaining} packets undeliverable: network drained at t={t}"
                 )
 
+            fault_blocked_step = False
+            if link_faults is not None:
+                fstatic, fextra = link_faults.parts_at(fault_base + t)
+                if fstatic is not f_last_static or len(link_src) != f_n_links:
+                    f_static_li = set()
+                    for u, w in fstatic:
+                        li = link_of.get(u * num_nodes + w)
+                        if li is not None:
+                            f_static_li.add(li)
+                    f_last_static = fstatic
+                    f_n_links = len(link_src)
+                if fextra:
+                    f_blocked_li = set(f_static_li)
+                    for u, w in fextra:
+                        li = link_of.get(u * num_nodes + w)
+                        if li is not None:
+                            f_blocked_li.add(li)
+                else:
+                    f_blocked_li = f_static_li or None
             if simple:
                 arrivals = []
                 arrivals_append = arrivals.append
@@ -636,6 +676,10 @@ class FastPathEngine:
                 used.clear()
             if simple and not use_heap:
                 for li in active:
+                    if f_blocked_li is not None and li in f_blocked_li:
+                        fault_stalls += 1
+                        fault_blocked_step = True
+                        continue
                     i = q_head[li]
                     q_head[li] = q_next[i]
                     q_len[li] -= 1
@@ -652,6 +696,10 @@ class FastPathEngine:
                         q_tail[li] = -1
             elif simple:
                 for li in active:
+                    if f_blocked_li is not None and li in f_blocked_li:
+                        fault_stalls += 1
+                        fault_blocked_step = True
+                        continue
                     i = heappop(q_heap[li]) & idx_mask
                     q_len[li] -= 1
                     if combine:
@@ -673,6 +721,10 @@ class FastPathEngine:
                     for el in list(fc.escape_at):
                         i = fc.escape_at[el]
                         nl = fc.escape_next[el]
+                        if f_blocked_li is not None and nl in f_blocked_li:
+                            fault_stalls += 1
+                            fault_blocked_step = True
+                            continue
                         if nl in used:
                             fc.stall()
                             continue
@@ -693,6 +745,10 @@ class FastPathEngine:
                     # Bulk subphase: credit-starved heads take the
                     # escape buffer of the link they cross.
                     for li in active:
+                        if f_blocked_li is not None and li in f_blocked_li:
+                            fault_stalls += 1
+                            fault_blocked_step = True
+                            continue
                         if li in used:
                             fc.stall()
                             continue
@@ -705,6 +761,10 @@ class FastPathEngine:
                             fc.stall()
                 elif service_rate is None:
                     for li in active:
+                        if f_blocked_li is not None and li in f_blocked_li:
+                            fault_stalls += 1
+                            fault_blocked_step = True
+                            continue
                         if stalled(li):
                             continue  # backpressure: hold the link this step
                         transmit(li)
@@ -720,14 +780,19 @@ class FastPathEngine:
                         for li in links:
                             if slots == 0:
                                 break
+                            if f_blocked_li is not None and li in f_blocked_li:
+                                fault_stalls += 1
+                                fault_blocked_step = True
+                                continue
                             if capacity is not None and stalled(li):
                                 continue  # stalled links don't burn slots
                             transmit(li)
                             slots -= 1
             active = [li for li in active if q_len[li]]
 
-            if not arrivals and not pending_times:
-                # No transmission and no future injections: the state is
+            if not arrivals and not pending_times and not fault_blocked_step:
+                # No transmission, no future injections, and nothing held
+                # back by a (possibly transient) fault: the state is
                 # provably static forever.  Report instead of spinning.
                 deadlocked = True
                 break
@@ -849,6 +914,7 @@ class FastPathEngine:
             max_node_load=max_node_load,
             credits_stalled=fc.credits_stalled if fc is not None else 0,
             escape_hops=fc.escape_hops if fc is not None else 0,
+            fault_stalls=fault_stalls,
             run_mode="event",
         )
         if deadlocked:
@@ -873,6 +939,8 @@ class FastPathEngine:
         raise_on_timeout: bool,
         node_key,
         trace_key,
+        link_faults=None,
+        fault_base: int = 0,
     ) -> RoutingStats:
         """Vectorized replay: whole phases as array operations.
 
@@ -935,7 +1003,11 @@ class FastPathEngine:
             link_src = np.asarray(link_src, dtype=np.int64)
             if link_mat.shape != (n, max(width - 1, 0)):
                 raise ValueError("links matrix must align with the path matrix")
-            if capacity is not None and link_dst is None and width > 1:
+            if (
+                (capacity is not None or link_faults is not None)
+                and link_dst is None
+                and width > 1
+            ):
                 # Derive each link's target by scattering the path
                 # matrix over the traversed positions (all writers of a
                 # link agree by construction).  Padded positions are
@@ -1052,6 +1124,17 @@ class FastPathEngine:
         active = np.empty(0, dtype=np.int64)
         max_queue = 0
         max_node_load = 0
+        fault_stalls = 0
+        if link_faults is not None:
+            # Fault pairs resolve to dense link ids through the interned
+            # code table (built lazily on the first nonempty blocked
+            # set); the boolean flag array is rebuilt only when the
+            # blocked set actually changes (per timeline segment, plus
+            # slow-link phase flips).
+            f_code_li: dict[int, int] | None = None
+            f_flags = np.zeros(n_links, dtype=bool)
+            f_cur = np.empty(0, dtype=np.int64)
+            f_last_parts: tuple | None = None
         remaining = n - int(dormant.sum()) if spawn_mode else n
         # Scratch buffers for activation bookkeeping, reset after use.
         flag = np.zeros(n_links, dtype=bool)
@@ -1260,6 +1343,35 @@ class FastPathEngine:
                     f"{remaining} packets undeliverable: network drained at t={t}"
                 )
 
+            fault_blocked_step = False
+            f_any = False
+            if link_faults is not None:
+                parts = link_faults.parts_at(fault_base + t)
+                if parts != f_last_parts:
+                    fstatic, fextra = parts
+                    f_flags[f_cur] = False
+                    lis: list[int] = []
+                    if fstatic or fextra:
+                        if f_code_li is None:
+                            f_code_li = dict(
+                                zip(
+                                    (link_src * num_nodes + link_dst).tolist(),
+                                    range(n_links),
+                                )
+                            )
+                        for u, w in fstatic:
+                            li = f_code_li.get(u * num_nodes + w)
+                            if li is not None:
+                                lis.append(li)
+                        for u, w in fextra:
+                            li = f_code_li.get(u * num_nodes + w)
+                            if li is not None:
+                                lis.append(li)
+                    f_cur = np.asarray(lis, dtype=np.int64)
+                    f_flags[f_cur] = True
+                    f_last_parts = parts
+                f_any = f_cur.size > 0
+
             # Transmission: every active link pops the head of its
             # highest nonempty class (lazy walk-down of stale maxima;
             # the loop narrows to the still-stale subset, so total work
@@ -1277,22 +1389,51 @@ class FastPathEngine:
                 vli = active
             heads = q_head[vli]
             if capacity is None:
-                nxt = q_next[heads]
-                q_head[vli] = nxt
-                q_tail[vli[nxt < 0]] = -1
-                if counts is not None:
-                    counts[vli] -= 1
-                if combine:
-                    # A departing host releases its combine-code residency.
-                    vc_pop = vc_mat[heads, pos[heads]]
-                    mine = host_at[vc_pop] == heads
-                    host_at[vc_pop[mine]] = -1
-                ql_after = q_len[active] - 1
-                q_len[active] = ql_after
-                np.subtract.at(node_load, link_src[active], 1)
-                pos[heads] += 1
-                arrivals = heads
-                active = active[ql_after > 0]
+                if f_any and active.size:
+                    keep = ~f_flags[active]
+                    nblocked = int(active.size) - int(keep.sum())
+                else:
+                    nblocked = 0
+                if nblocked:
+                    # Fault-blocked links hold their queues this step;
+                    # the unblocked subset transmits exactly as below.
+                    fault_stalls += nblocked
+                    fault_blocked_step = True
+                    vli_s = vli[keep]
+                    heads_s = heads[keep]
+                    act_s = active[keep]
+                    nxt = q_next[heads_s]
+                    q_head[vli_s] = nxt
+                    q_tail[vli_s[nxt < 0]] = -1
+                    if counts is not None:
+                        counts[vli_s] -= 1
+                    if combine:
+                        vc_pop = vc_mat[heads_s, pos[heads_s]]
+                        mine = host_at[vc_pop] == heads_s
+                        host_at[vc_pop[mine]] = -1
+                    q_len[act_s] -= 1
+                    np.subtract.at(node_load, link_src[act_s], 1)
+                    pos[heads_s] += 1
+                    arrivals = heads_s
+                    active = active[q_len[active] > 0]
+                else:
+                    nxt = q_next[heads]
+                    q_head[vli] = nxt
+                    q_tail[vli[nxt < 0]] = -1
+                    if counts is not None:
+                        counts[vli] -= 1
+                    if combine:
+                        # A departing host releases its combine-code
+                        # residency.
+                        vc_pop = vc_mat[heads, pos[heads]]
+                        mine = host_at[vc_pop] == heads
+                        host_at[vc_pop[mine]] = -1
+                    ql_after = q_len[active] - 1
+                    q_len[active] = ql_after
+                    np.subtract.at(node_load, link_src[active], 1)
+                    pos[heads] += 1
+                    arrivals = heads
+                    active = active[ql_after > 0]
             else:
                 # ---- constrained transmission: batch credit accounting.
                 # Escape subphase first, exactly like the reference
@@ -1316,6 +1457,10 @@ class FastPathEngine:
                     nls = [esc_next[el] for el, _ in esc_snapshot]
                     load_at = node_load[link_dst[nls]].tolist() if nls else []
                     for (el, i), nl, ld in zip(esc_snapshot, nls, load_at):
+                        if f_any and f_flags[nl]:
+                            fault_stalls += 1
+                            fault_blocked_step = True
+                            continue
                         if nl in used:
                             stalls += 1
                             continue
@@ -1349,16 +1494,34 @@ class FastPathEngine:
                 if active.size:
                     w_arr = link_dst[active]
                     dec = dest_arr[heads] == w_arr  # exempt heads
+                    fb = None
+                    if f_any:
+                        fb = f_flags[active]
+                        nb = int(fb.sum())
+                        if nb:
+                            # A blocked wire never transmits, exempt head
+                            # or not; counted as fault stalls, never as
+                            # credit stalls (reference order: the fault
+                            # check precedes every other stall reason).
+                            fault_stalls += nb
+                            fault_blocked_step = True
+                            dec &= ~fb
+                        else:
+                            fb = None
                     if used:
                         used_list = list(used)
                         used_flag[used_list] = True
                         blocked = used_flag[active]
                         used_flag[used_list] = False
+                        if fb is not None:
+                            blocked &= ~fb
                         fc.credits_stalled += int(blocked.sum())
                         nonex = ~dec & ~blocked
                     else:
                         blocked = None
                         nonex = ~dec
+                    if fb is not None:
+                        nonex &= ~fb
                     tgt = w_arr[nonex]
                     np.add.at(inc_np, tgt, 1)
                     budget_at_w = node_load[w_arr] + inc_np[w_arr]
@@ -1374,6 +1537,8 @@ class FastPathEngine:
                     dec |= fine
                     if blocked is not None:
                         dec &= ~blocked
+                    if fb is not None:
+                        dec &= ~fb
                     c_idx = np.nonzero(contended)[0]
                     if c_idx.size:
                         # Sure links settle before the scalar walk; the
@@ -1472,8 +1637,13 @@ class FastPathEngine:
                     )
                 else:
                     arrivals = bulk_arrivals
-                if not arrivals.size and not pending_times:
-                    # No transmission and no future injections: the
+                if (
+                    not arrivals.size
+                    and not pending_times
+                    and not fault_blocked_step
+                ):
+                    # No transmission, no future injections, and nothing
+                    # held back by a (possibly transient) fault: the
                     # state is provably static forever.  Report instead
                     # of spinning (the reference engine's detector).
                     deadlocked = True
@@ -1568,6 +1738,7 @@ class FastPathEngine:
             max_node_load=max_node_load,
             credits_stalled=fc.credits_stalled if fc is not None else 0,
             escape_hops=fc.escape_hops if fc is not None else 0,
+            fault_stalls=fault_stalls,
             run_mode=self.last_run_mode,
         )
         if deadlocked:

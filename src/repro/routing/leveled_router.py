@@ -73,6 +73,8 @@ class LeveledRouter:
         flow_control: str = "none",
         track_paths: bool = False,
         engine: str = "auto",
+        link_faults=None,
+        fault_base: int = 0,
     ) -> None:
         if intermediate not in ("coin", "node"):
             raise ValueError(f"unknown intermediate mode {intermediate!r}")
@@ -85,6 +87,37 @@ class LeveledRouter:
         self.track_paths = track_paths
         self.engine_mode = engine
         resolve_engine_mode(engine)  # validate eagerly
+        # Link-fault support: specs are (col, u_row, v_row) physical
+        # wires, blocked on both passes; each engine gets a view in its
+        # own key space (tuples vs. arithmetic ids), translated so the
+        # two stay step-equivalent.  ``fault_base`` offsets this run
+        # into the emulator's global virtual clock.
+        self.fault_base = int(fault_base)
+        self._link_faults = link_faults
+        self._ref_fault_view = None
+        self._fast_fault_view = None
+        if link_faults is not None:
+            Lf, Nf = net.num_levels, net.column_size
+
+            def _check(spec):
+                c, u, v = spec
+                if not (0 <= c < Lf and 0 <= u < Nf and 0 <= v < Nf):
+                    raise ValueError(f"link fault spec {spec!r} out of range")
+                return c, u, v
+
+            def ref_translate(spec):
+                c, u, v = _check(spec)
+                return (((0, c, u), (0, c + 1, v)), ((1, c, u), (1, c + 1, v)))
+
+            def fast_translate(spec):
+                c, u, v = _check(spec)
+                return (
+                    (c * Nf + u, (c + 1) * Nf + v),
+                    ((Lf + c) * Nf + u, (Lf + c + 1) * Nf + v),
+                )
+
+            self._ref_fault_view = link_faults.view(ref_translate)
+            self._fast_fault_view = link_faults.view(fast_translate)
         #: after a fast-path run: the packets' compiled node-id
         #: itineraries as an ``(n, 2L + 1)`` int matrix, aligned with
         #: the routed packet list (None after a reference run).  The
@@ -164,7 +197,13 @@ class LeveledRouter:
         self.last_fast_paths = None
         if mode == "fast" and (self.intermediate == "node" or coins is not None):
             return self._run_fast(packets, coins, max_steps)
-        return self.engine.run(packets, self._next_hop, max_steps=max_steps)
+        return self.engine.run(
+            packets,
+            self._next_hop,
+            max_steps=max_steps,
+            link_faults=self._ref_fault_view,
+            fault_base=self.fault_base,
+        )
 
     def _run_fast(
         self, packets: list[Packet], coins, max_steps: int
@@ -209,6 +248,8 @@ class LeveledRouter:
             links=links,
             node_key=compiled.node_key,
             trace_key=compiled.trace_key,
+            link_faults=self._fast_fault_view,
+            fault_base=self.fault_base,
         )
 
     def route(

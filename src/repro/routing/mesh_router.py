@@ -63,6 +63,8 @@ def _run_fast_mesh(
     track_paths: bool = False,
     node_capacity: int | None = None,
     flow_control: str = "none",
+    link_faults=None,
+    fault_base: int = 0,
 ):
     """Compile mesh trajectories and replay them on the fast engine.
 
@@ -96,6 +98,8 @@ def _run_fast_mesh(
         path_lengths=plan.lengths,
         priorities=plan.priorities,
         links=links,
+        link_faults=link_faults,
+        fault_base=fault_base,
     )
     return plan, stats
 
@@ -146,6 +150,8 @@ class MeshRouter:
         track_paths: bool = False,
         combine: bool = False,
         engine: str = "auto",
+        link_faults=None,
+        fault_base: int = 0,
     ) -> None:
         self.mesh = mesh
         self.rng = as_generator(seed)
@@ -174,6 +180,21 @@ class MeshRouter:
         #: without re-encoding traces; row i is valid up to position
         #: ``packet.hops``.
         self.last_fast_paths: np.ndarray | None = None
+        # Mesh link keys are (u, v) packed-node-id pairs in *both*
+        # engines, so one identity-translated view serves each; the
+        # emulator validates specs against the topology up front.
+        self.fault_base = int(fault_base)
+        self._fault_view = None
+        if link_faults is not None:
+            nn = mesh.num_nodes
+
+            def translate(spec):
+                u, w = spec
+                if not (0 <= u < nn and 0 <= w < nn):
+                    raise ValueError(f"link fault spec {spec!r} out of range")
+                return ((int(u), int(w)),)
+
+            self._fault_view = link_faults.view(translate)
         self.engine = SynchronousEngine(
             queue_factory=factory,
             node_capacity=node_capacity,
@@ -248,7 +269,13 @@ class MeshRouter:
         self.last_fast_paths = None
         if resolve_engine_mode(self.engine_mode) == "fast":
             return self._run_fast(packets, max_steps)
-        return self.engine.run(packets, self._next_hop, max_steps=max_steps)
+        return self.engine.run(
+            packets,
+            self._next_hop,
+            max_steps=max_steps,
+            link_faults=self._fault_view,
+            fault_base=self.fault_base,
+        )
 
     def _run_fast(self, packets: list[Packet], max_steps: int) -> RoutingStats:
         """Compile 3-stage trajectories + priorities; replay them fast."""
@@ -262,6 +289,8 @@ class MeshRouter:
             track_paths=self.track_paths,
             node_capacity=self.node_capacity,
             flow_control=self.flow_control,
+            link_faults=self._fault_view,
+            fault_base=self.fault_base,
         )
         self.last_fast_paths = plan.ids
         return stats

@@ -40,6 +40,12 @@ class RoutingStats:
     #: deadlock-free channel of ``flow_control="credit"``); each one is
     #: a credit-starved head bypassing a full bulk buffer
     escape_hops: int = 0
+    #: (link, step) pairs where an injected link fault held a
+    #: transmission back — a queued head (or escape occupant) whose
+    #: wire was down or in a slow-link off-phase this step.  Zero
+    #: unless the run carries a fault schedule; identical across
+    #: engines under a fixed seed (see docs/faults.md).
+    fault_stalls: int = 0
     #: execution mode that produced this run: ``"reference"`` (the
     #: per-hop readable engine) or one of the fast engine's modes —
     #: ``"batch"``, ``"batch-constrained"``, ``"event"`` (see
@@ -98,6 +104,7 @@ def collect_stats(
     max_node_load: int = 0,
     credits_stalled: int = 0,
     escape_hops: int = 0,
+    fault_stalls: int = 0,
     run_mode: str = "",
 ) -> RoutingStats:
     """Assemble a :class:`RoutingStats` from delivered packets."""
@@ -114,5 +121,6 @@ def collect_stats(
         max_node_load=max_node_load,
         credits_stalled=credits_stalled,
         escape_hops=escape_hops,
+        fault_stalls=fault_stalls,
         run_mode=run_mode,
     )

@@ -13,15 +13,37 @@ Per epoch: (1) the generator's arrivals for the epoch enter the
 admission queue (the ``"drop"`` overflow policy rejects arrivals beyond
 ``queue_limit``; ``"defer"`` keeps everything); (2) up to
 ``admit_limit`` queued requests are admitted FIFO into a
-:class:`~repro.pram.trace.StepTrace`; (3) the emulator serves the step
-— hashing, request routing under whatever ``node_capacity`` /
-``flow_control`` the emulator was built with, memory ops, replies; (4)
-the virtual clock advances by the step's network cost and every served
-request's sojourn (arrival -> delivery, in network steps) is recorded.
-Un-admitted requests stay queued and carry over — under credit
-backpressure a congested epoch takes longer, the clock advances
-further, and the queued requests' sojourns grow: exactly the open-loop
-feedback a closed batch cannot express.
+:class:`~repro.pram.trace.StepTrace` — requests past their
+``request_timeout`` deadline expire here instead; (3) the emulator
+serves the step — hashing, request routing under whatever
+``node_capacity`` / ``flow_control`` / fault schedule the emulator was
+built with, memory ops, replies; (4) the virtual clock advances by the
+step's network cost (successful phases *plus* failed-attempt stalls)
+and every served request's sojourn (arrival -> delivery, in network
+steps) is recorded.  Un-admitted requests stay queued and carry over —
+under credit backpressure a congested epoch takes longer, the clock
+advances further, and the queued requests' sojourns grow: exactly the
+open-loop feedback a closed batch cannot express.
+
+Degraded-mode hardening
+-----------------------
+A step that the emulator gives up on (it raises
+:class:`~repro.faults.RehashStormError` when a fault schedule keeps an
+attempt from completing) does **not** lose its requests: each one is
+re-enqueued at the back of the queue with an exponential-backoff
+eligibility time (``backoff * 2**(attempt-1)`` virtual steps), up to
+``retry_limit`` attempts, after which it moves to ``dead_letters``.
+When every queued request is backing off, the driver fast-forwards the
+clock to the earliest eligibility instead of spinning idle epochs.
+Requests therefore obey an exact conservation law the tests and
+benchmark gates assert::
+
+    arrivals == delivered + dropped + timed_out + dead_lettered + backlog
+
+The driver also pins the emulator's fault clock (``virtual_clock``) to
+its own every epoch, so a :class:`~repro.faults.FaultSchedule` runs on
+the same timeline the telemetry reports, and it annotates each epoch
+with the fault events that fired during it.
 
 Admitted batches are *rectangular* work for the engines: requests
 become one PRAM step, which the emulators route through their
@@ -39,8 +61,12 @@ a fixed (workload seed, emulator seed) pair replays bit-identically on
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappop, heappush
+
+import numpy as np
 
 from repro.emulation.base import Emulator, StepCost
+from repro.faults import RehashStormError
 from repro.pram.trace import ReadRequest, StepTrace, WriteRequest
 from repro.traffic.generators import TrafficRequest, WorkloadGenerator
 from repro.traffic.telemetry import EpochRecord, TrafficReport
@@ -58,8 +84,9 @@ class OnlineEmulator:
     emulator:
         A configured :class:`~repro.emulation.MeshEmulator` or
         :class:`~repro.emulation.LeveledEmulator` (any engine, any
-        flow-control setting).  The driver never touches its internals;
-        it only calls :meth:`emulate_step`.
+        flow-control setting, optionally carrying a fault schedule).
+        The driver calls :meth:`emulate_step` and, for fault-aware
+        emulators, keeps their ``virtual_clock`` pinned to its own.
     workload:
         The seeded request source.  Its ``n_procs`` must not exceed the
         emulator's processor count.
@@ -83,6 +110,23 @@ class OnlineEmulator:
         concurrency.  Under a hot-spot key distribution this rule *is*
         the cost of exclusive access: a hot address serializes to one
         touch per epoch, so its excess demand accumulates as backlog.
+    request_timeout:
+        Per-request deadline in virtual network steps.  A request still
+        undelivered ``request_timeout`` steps after arrival expires at
+        its next admission opportunity (lazily, when it reaches the
+        head of its address's sub-queue) and is counted ``timed_out``.
+        ``None`` (default) disables deadlines.
+    retry_limit / backoff:
+        Degraded-mode retry policy: a request whose serving step failed
+        (:class:`~repro.faults.RehashStormError`) is re-enqueued with
+        eligibility ``clock + backoff * 2**(attempt-1)`` for up to
+        ``retry_limit`` attempts, then dead-lettered (kept, with its
+        retry count, in :attr:`dead_letters`).
+    rehash_storm_cap:
+        Hard guard: if a *successful* epoch needed more than this many
+        rehashes, the run aborts with
+        :class:`~repro.faults.RehashStormError` instead of silently
+        burning time.  ``None`` (default) disables the guard.
     """
 
     def __init__(
@@ -94,6 +138,10 @@ class OnlineEmulator:
         queue_limit: int | None = None,
         overflow: str = "defer",
         exclusive: bool | None = None,
+        request_timeout: int | None = None,
+        retry_limit: int = 3,
+        backoff: int = 4,
+        rehash_storm_cap: int | None = None,
     ) -> None:
         if overflow not in OVERFLOW_POLICIES:
             raise ValueError(
@@ -109,6 +157,14 @@ class OnlineEmulator:
             )
         if queue_limit is not None and queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
+        if request_timeout is not None and request_timeout < 1:
+            raise ValueError("request_timeout must be >= 1")
+        if retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        if backoff < 1:
+            raise ValueError("backoff must be >= 1")
+        if rehash_storm_cap is not None and rehash_storm_cap < 1:
+            raise ValueError("rehash_storm_cap must be >= 1")
         procs = self._emulator_procs(emulator)
         if procs is not None and workload.n_procs > procs:
             raise ValueError(
@@ -133,9 +189,32 @@ class OnlineEmulator:
         self.queue_limit = queue_limit
         self.overflow = overflow
         self.exclusive = bool(exclusive)
-        #: admission queue of (request, arrival_clock) pairs, FIFO
-        self.queue: deque[tuple[TrafficRequest, int]] = deque()
-        #: virtual time in network steps (sum of served epochs' costs)
+        self.request_timeout = request_timeout
+        self.retry_limit = int(retry_limit)
+        self.backoff = int(backoff)
+        self.rehash_storm_cap = rehash_storm_cap
+        # Admission state: one FIFO sub-queue per address plus a lazy
+        # min-heap of (seq, addr) over the sub-queue *heads*.  Exclusive
+        # admission used to rescan (and re-splice) the whole backlog
+        # every epoch — O(epochs x backlog) on a hot-spot workload; the
+        # heap pops exactly the admitted/deferred heads instead.
+        # Invariant: the heap holds an entry for the current head of
+        # every non-empty sub-queue (plus possibly stale entries, which
+        # the seq check discards).  Entries are
+        # (seq, request, arrival_clock, not_before).
+        self._subq: dict[int, deque[tuple[int, TrafficRequest, int, int]]] = {}
+        self._heap: list[tuple[int, int]] = []
+        self._seq = 0
+        self._n_queued = 0
+        #: retry attempts per request id (only failed-step survivors)
+        self._retries: dict[int, int] = {}
+        #: requests that exhausted ``retry_limit``: (request,
+        #: arrival_clock, attempts) — kept for post-mortem accounting
+        self.dead_letters: list[tuple[TrafficRequest, int, int]] = []
+        #: requests expired by the last ``_admit`` call (per-epoch scratch)
+        self._expired: list[TrafficRequest] = []
+        #: virtual time in network steps (served cost + retry stalls +
+        #: backoff fast-forwards)
         self.clock = 0
         self._ran = False
 
@@ -151,32 +230,82 @@ class OnlineEmulator:
     @property
     def backlog(self) -> int:
         """Requests currently waiting in the admission queue."""
-        return len(self.queue)
+        return self._n_queued
+
+    @property
+    def queue(self) -> list[tuple[TrafficRequest, int]]:
+        """The queued (request, arrival_clock) pairs in FIFO order.
+
+        A read-only snapshot (introspection and tests); admission runs
+        on the internal sub-queue structures.
+        """
+        entries: list[tuple[int, TrafficRequest, int, int]] = []
+        for dq in self._subq.values():
+            entries.extend(dq)
+        entries.sort(key=lambda t: t[0])
+        return [(req, stamp) for _seq, req, stamp, _nb in entries]
 
     # ------------------------------------------------------------------
+    def _enqueue(self, req: TrafficRequest, stamp: int, not_before: int) -> None:
+        dq = self._subq.get(req.addr)
+        if dq is None:
+            dq = self._subq[req.addr] = deque()
+        was_empty = not dq
+        dq.append((self._seq, req, stamp, not_before))
+        if was_empty:
+            heappush(self._heap, (self._seq, req.addr))
+        self._seq += 1
+        self._n_queued += 1
+
     def _admit(self) -> list[tuple[TrafficRequest, int]]:
         """Pop this epoch's FIFO batch (respecting the exclusive rule).
 
-        Exclusive mode walks the queue skipping address conflicts;
-        skipped requests are spliced back in their original order, so
-        an address's pending accesses drain one per epoch while
-        unrelated traffic flows past them.
+        Heads are taken in global arrival (seq) order.  A head is
+        *deferred* — left queued, position preserved — when it is still
+        backing off or (exclusive mode) its address was already admitted
+        this epoch; deferring the head defers its whole sub-queue, which
+        is exactly the old skip-scan semantics, since every later
+        request for that address queued behind it.  Heads past their
+        ``request_timeout`` deadline expire here instead of admitting;
+        they land in ``self._expired`` (reset per call) for the epoch
+        record.
         """
         batch: list[tuple[TrafficRequest, int]] = []
-        if not self.exclusive:
-            while self.queue and len(batch) < self.admit_limit:
-                batch.append(self.queue.popleft())
-            return batch
-        skipped: list[tuple[TrafficRequest, int]] = []
+        expired: list[TrafficRequest] = []
+        self._expired = expired
+        deferred: list[tuple[int, int]] = []
         seen_addrs: set[int] = set()
-        while self.queue and len(batch) < self.admit_limit:
-            req, stamp = self.queue.popleft()
-            if req.addr in seen_addrs:
-                skipped.append((req, stamp))
+        heap, subq = self._heap, self._subq
+        while heap and len(batch) < self.admit_limit:
+            seq, addr = heappop(heap)
+            dq = subq.get(addr)
+            if not dq or dq[0][0] != seq:
+                continue  # stale heap entry
+            _seq, req, stamp, not_before = dq[0]
+            if (
+                self.request_timeout is not None
+                and self.clock - stamp > self.request_timeout
+            ):
+                dq.popleft()
+                self._n_queued -= 1
+                expired.append(req)
+            elif not_before > self.clock or (
+                self.exclusive and addr in seen_addrs
+            ):
+                deferred.append((seq, addr))
                 continue
-            seen_addrs.add(req.addr)
-            batch.append((req, stamp))
-        self.queue.extendleft(reversed(skipped))
+            else:
+                dq.popleft()
+                self._n_queued -= 1
+                if self.exclusive:
+                    seen_addrs.add(addr)
+                batch.append((req, stamp))
+            if dq:
+                heappush(heap, (dq[0][0], addr))
+            else:
+                del subq[addr]
+        for item in deferred:
+            heappush(heap, item)
         return batch
 
     @staticmethod
@@ -188,6 +317,56 @@ class OnlineEmulator:
             else:
                 step.writes.append(WriteRequest(req.pid, req.addr, req.value))
         return step
+
+    def _served_modules(self, batch: list[tuple[TrafficRequest, int]]) -> list[int]:
+        """Module that served each request (vectorized when possible).
+
+        Evaluated *after* the step, so the mapping reflects the hash
+        the successful attempt actually used (mid-step rehashes
+        included) and the detected-dead remap.
+        """
+        emu = self.emulator
+        if not hasattr(emu, "module_of"):
+            return []
+        hash_fn = getattr(emu, "hash", None)
+        faults = getattr(emu, "faults", None)
+        if (
+            hash_fn is not None
+            and faults is not None
+            and getattr(emu, "placement", "hash") == "hash"
+        ):
+            addrs = np.asarray([req.addr for req, _ in batch], dtype=np.int64)
+            return faults.map_modules(hash_fn.map(addrs)).tolist()
+        return [emu.module_of(req.addr) for req, _ in batch]
+
+    def _requeue_failed(
+        self, batch: list[tuple[TrafficRequest, int]]
+    ) -> tuple[int, int]:
+        """Retry-or-dead-letter every request of a failed step."""
+        retried = dead = 0
+        for req, stamp in batch:
+            attempt = self._retries.get(req.rid, 0) + 1
+            self._retries[req.rid] = attempt
+            if attempt > self.retry_limit:
+                self.dead_letters.append((req, stamp, attempt - 1))
+                dead += 1
+            else:
+                # Re-enqueue at the back (fresh seq) with exponential
+                # backoff; the original stamp is kept so an eventual
+                # delivery reports the true arrival->delivery sojourn.
+                self._enqueue(
+                    req, stamp, self.clock + self.backoff * 2 ** (attempt - 1)
+                )
+                retried += 1
+        return retried, dead
+
+    def _fast_forward(self) -> int:
+        """Steps to the earliest backoff eligibility among queued heads
+        (0 when anything is admissible now or the queue is empty)."""
+        if not self._subq:
+            return 0
+        nxt = min(dq[0][3] for dq in self._subq.values())
+        return max(0, nxt - self.clock)
 
     # ------------------------------------------------------------------
     def run(self, epochs: int) -> TrafficReport:
@@ -207,28 +386,81 @@ class OnlineEmulator:
         self._ran = True
         stream = self.workload.stream(epochs)
         report = TrafficReport()
+        emu = self.emulator
+        faults = getattr(emu, "faults", None)
+        annotate = faults is not None and bool(faults.schedule)
         for epoch in range(epochs):
             arrivals = stream[epoch]
             dropped = 0
             if self.overflow == "drop":
-                room = self.queue_limit - len(self.queue)
+                room = self.queue_limit - self._n_queued
                 if len(arrivals) > room:
                     dropped = len(arrivals) - max(room, 0)
                     arrivals = arrivals[: max(room, 0)]
             for req in arrivals:
-                self.queue.append((req, self.clock))
+                self._enqueue(req, self.clock, self.clock)
+            clock_before = self.clock
             batch = self._admit()
+            expired = self._expired
+            retried = dead_lettered = 0
+            served: list[tuple[TrafficRequest, int]] = []
             if batch:
-                cost = self.emulator.emulate_step(self._build_step(batch))
+                # Pin the emulator's fault clock to the driver's so the
+                # schedule, the backoff timers, and the telemetry all
+                # run on one timeline (fast-forwards included).
+                if hasattr(emu, "virtual_clock"):
+                    emu.virtual_clock = self.clock
+                try:
+                    cost = emu.emulate_step(self._build_step(batch))
+                    served = batch
+                except RehashStormError as exc:
+                    # The step burned time but delivered nothing; its
+                    # requests go back through the retry policy.
+                    cost = StepCost(
+                        0,
+                        0,
+                        rehashes=exc.rehashes,
+                        requests=len(batch),
+                        stall_steps=exc.stall_steps,
+                        deadlock_retries=exc.deadlock_retries,
+                        run_modes=tuple(exc.run_modes),
+                    )
+                    self.clock += cost.stall_steps
+                    retried, dead_lettered = self._requeue_failed(batch)
+                else:
+                    self.clock += cost.total_steps + cost.stall_steps
+                    if (
+                        self.rehash_storm_cap is not None
+                        and cost.rehashes > self.rehash_storm_cap
+                    ):
+                        raise RehashStormError(
+                            f"epoch {epoch} needed {cost.rehashes} rehashes "
+                            f"(cap {self.rehash_storm_cap})",
+                            rehashes=cost.rehashes,
+                            stall_steps=cost.stall_steps,
+                            deadlock_retries=cost.deadlock_retries,
+                            run_modes=cost.run_modes,
+                        )
             else:
                 cost = StepCost(0, 0)
-            self.clock += cost.total_steps
+            stall_steps = cost.stall_steps
+            if not served and self._n_queued:
+                # Nothing admissible: everything queued is backing off.
+                # Jump to the earliest eligibility instead of spinning.
+                ff = self._fast_forward()
+                self.clock += ff
+                stall_steps += ff
+            fault_events: tuple[str, ...] = ()
+            if annotate and self.clock > clock_before:
+                fault_events = tuple(
+                    faults.events_between(clock_before, self.clock)
+                )
             record = EpochRecord(
                 epoch=epoch,
                 arrivals=len(arrivals) + dropped,
                 dropped=dropped,
-                admitted=len(batch),
-                backlog=len(self.queue),
+                admitted=len(served),
+                backlog=self._n_queued,
                 steps=cost.total_steps,
                 request_steps=cost.request_steps,
                 reply_steps=cost.reply_steps,
@@ -238,8 +470,16 @@ class OnlineEmulator:
                 credits_stalled=cost.credits_stalled,
                 run_modes=cost.run_modes,
                 clock=self.clock,
-                sojourns=[self.clock - stamp for _req, stamp in batch],
-                sojourns_epochs=[epoch - req.epoch for req, _stamp in batch],
+                sojourns=[self.clock - stamp for _req, stamp in served],
+                sojourns_epochs=[epoch - req.epoch for req, _stamp in served],
+                stall_steps=stall_steps,
+                fault_stalls=cost.fault_stalls,
+                deadlock_retries=cost.deadlock_retries,
+                retried=retried,
+                timed_out=len(expired),
+                dead_lettered=dead_lettered,
+                fault_events=fault_events,
+                modules=self._served_modules(served) if served else [],
             )
             report.add(record)
         return report

@@ -56,6 +56,27 @@ class EpochRecord:
     #: sojourn of the same requests measured in epochs
     #: (serve epoch - arrival epoch)
     sojourns_epochs: list[int] = field(default_factory=list)
+    #: virtual steps this epoch spent *not* delivering: failed request
+    #: attempts inside the emulator (rehash retries, wedged or
+    #: fault-stalled runs) plus driver backoff fast-forwards
+    stall_steps: int = 0
+    #: link-fault transmission stalls across the epoch's routing phases
+    fault_stalls: int = 0
+    #: failed attempts that ended in a credit DeadlockError (each was
+    #: rehashed and retried inside the emulator)
+    deadlock_retries: int = 0
+    #: requests re-enqueued (with backoff) after this epoch's step failed
+    retried: int = 0
+    #: requests expired at admission by the ``request_timeout`` deadline
+    timed_out: int = 0
+    #: requests moved to the dead-letter list after exhausting retries
+    dead_lettered: int = 0
+    #: fault-schedule events that fired during this epoch's clock span,
+    #: as stable ``describe()`` labels (annotations for plots/recovery)
+    fault_events: tuple[str, ...] = ()
+    #: memory module that served each delivered request, aligned with
+    #: ``sojourns`` (empty when the emulator exposes no module mapping)
+    modules: list[int] = field(default_factory=list)
 
 
 class TrafficReport:
@@ -93,8 +114,51 @@ class TrafficReport:
         return sum(e.rehashes for e in self.epochs)
 
     @property
+    def total_deadlock_retries(self) -> int:
+        """Credit-deadlock attempts the emulators absorbed via rehash."""
+        return sum(e.deadlock_retries for e in self.epochs)
+
+    @property
+    def total_fault_stalls(self) -> int:
+        return sum(e.fault_stalls for e in self.epochs)
+
+    @property
+    def total_stall_steps(self) -> int:
+        return sum(e.stall_steps for e in self.epochs)
+
+    @property
+    def total_retried(self) -> int:
+        return sum(e.retried for e in self.epochs)
+
+    @property
+    def total_timed_out(self) -> int:
+        return sum(e.timed_out for e in self.epochs)
+
+    @property
+    def total_dead_lettered(self) -> int:
+        return sum(e.dead_lettered for e in self.epochs)
+
+    @property
     def final_backlog(self) -> int:
         return self.epochs[-1].backlog if self.epochs else 0
+
+    def conservation_deficit(self) -> int:
+        """Requests not accounted for — must be 0.
+
+        Every arrival is exactly one of: delivered, dropped at
+        admission, expired by its deadline, dead-lettered after
+        retries, or still in the backlog.  (Retries are not a terminal
+        state: a retried request is later delivered, dead-lettered, or
+        left queued.)  Nonzero means the driver lost or duplicated a
+        request; the fault tests and benchmark gates assert zero.
+        """
+        return self.total_arrivals - (
+            self.total_delivered
+            + self.total_dropped
+            + self.total_timed_out
+            + self.total_dead_lettered
+            + self.final_backlog
+        )
 
     @property
     def sojourns(self) -> list[int]:
@@ -174,6 +238,74 @@ class TrafficReport:
             )
         return out
 
+    # ---- degraded-mode analyses ------------------------------------------
+    def module_service_counts(self) -> dict[int, int]:
+        """Delivered requests per serving memory module (whole run)."""
+        counts: dict[int, int] = {}
+        for e in self.epochs:
+            for m in e.modules:
+                counts[m] = counts.get(m, 0) + 1
+        return counts
+
+    def module_hotness(self, top: int | None = None) -> list[tuple[int, int]]:
+        """(module, served) ranking, hottest first (ties by module id).
+
+        Under module faults the surrogate of a dead module absorbs its
+        addresses on top of its own, so it climbs this ranking — the
+        degraded-mode load-imbalance signal.
+        """
+        ranked = sorted(
+            self.module_service_counts().items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ranked if top is None else ranked[:top]
+
+    @property
+    def fault_event_log(self) -> list[tuple[int, str]]:
+        """(epoch, event label) pairs for every annotated fault event."""
+        out: list[tuple[int, str]] = []
+        for e in self.epochs:
+            out.extend((e.epoch, label) for label in e.fault_events)
+        return out
+
+    def recovery_times(
+        self, *, window: int = 4, tolerance: float = 0.10
+    ) -> list[dict]:
+        """Recovery time after each fault-annotated epoch.
+
+        For every epoch carrying fault events, the pre-fault level is
+        the windowed throughput just before the event; recovery is the
+        first epoch at or after it whose windowed throughput is back
+        within ``tolerance`` (default 10%) of that level.  Returns one
+        dict per fault epoch: ``epoch``, ``events``, ``pre_throughput``,
+        ``recovered_epoch`` (None if never), and ``recovery_steps`` —
+        virtual steps from the start of the fault epoch to the end of
+        the recovery epoch (0 if throughput never left the band).
+        """
+        thr = self.throughput_series(window)
+        out: list[dict] = []
+        for i, e in enumerate(self.epochs):
+            if not e.fault_events:
+                continue
+            pre = thr[i - 1] if i > 0 else thr[i]
+            start_clock = self.epochs[i - 1].clock if i > 0 else 0
+            recovered_epoch = None
+            recovery_steps = None
+            for j in range(i, len(self.epochs)):
+                if thr[j] >= pre * (1.0 - tolerance):
+                    recovered_epoch = j
+                    recovery_steps = self.epochs[j].clock - start_clock
+                    break
+            out.append(
+                {
+                    "epoch": i,
+                    "events": list(e.fault_events),
+                    "pre_throughput": pre,
+                    "recovered_epoch": recovered_epoch,
+                    "recovery_steps": recovery_steps,
+                }
+            )
+        return out
+
     # ---- summaries -------------------------------------------------------
     def sojourn_percentiles(
         self, qs: tuple[float, ...] = (50.0, 95.0, 99.0), *, skip_epochs: int = 0
@@ -248,7 +380,14 @@ class TrafficReport:
             "total_dropped": self.total_dropped,
             "total_steps": self.total_steps,
             "total_rehashes": self.total_rehashes,
+            "total_deadlock_retries": self.total_deadlock_retries,
+            "total_fault_stalls": self.total_fault_stalls,
+            "total_stall_steps": self.total_stall_steps,
+            "total_retried": self.total_retried,
+            "total_timed_out": self.total_timed_out,
+            "total_dead_lettered": self.total_dead_lettered,
             "final_backlog": self.final_backlog,
+            "conservation_deficit": self.conservation_deficit(),
             "run_mode_counts": self.run_mode_counts(),
             "epochs": [
                 {
@@ -268,6 +407,14 @@ class TrafficReport:
                     "clock": e.clock,
                     "sojourns": list(e.sojourns),
                     "sojourns_epochs": list(e.sojourns_epochs),
+                    "stall_steps": e.stall_steps,
+                    "fault_stalls": e.fault_stalls,
+                    "deadlock_retries": e.deadlock_retries,
+                    "retried": e.retried,
+                    "timed_out": e.timed_out,
+                    "dead_lettered": e.dead_lettered,
+                    "fault_events": list(e.fault_events),
+                    "modules": list(e.modules),
                 }
                 for e in self.epochs
             ],

@@ -52,6 +52,7 @@ STAT_FIELDS = (
     "max_node_load",
     "credits_stalled",
     "escape_hops",
+    "fault_stalls",
 )
 
 

@@ -23,6 +23,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 QUICK_ARGS = {
     "reproduce_all.py": ["--quick"],
     "online_traffic_demo.py": ["--quick"],
+    "fault_injection_demo.py": ["--quick"],
 }
 
 TIMEOUT_S = 180
