@@ -1,0 +1,125 @@
+"""PRAM race detection end to end: sanitizer, classification, scan.
+
+The emulation theorems are parameterized by the PRAM variant (Theorem
+2.5 emulates EREW directly, Theorem 2.6 buys CRCW via combining), so a
+program that violates its declared ``AccessMode`` invalidates the bound
+it is quoted under.  This demo walks the detector through four scenes:
+
+1. **the sanitizer catching a race** — a deliberately racy "EREW"
+   program runs on a permissive machine with ``check_races=True``; the
+   resulting :class:`RaceError` carries structured reports naming the
+   step, the address, and the colliding processors;
+2. **a portability check** — a legal CREW program asked "are you
+   EREW-clean?" (it is not, and the reports say exactly why);
+3. **library classification** — every program in
+   ``repro.pram.programs`` is pre-run and its declared mode verified
+   against the minimal variant its trace actually needs;
+4. **the symbolic scan** — static proof of EREW-safety for programs
+   whose addresses are affine in ``pid``, no execution required.
+
+Run:  python examples/race_detection_demo.py [--quick]
+"""
+
+import sys
+
+from repro.analysis.races import (
+    RaceError,
+    classify_all_programs,
+    scan_program_addresses,
+)
+from repro.pram.machine import Read, Write, run_program
+from repro.pram.programs import ALL_PROGRAM_BUILDERS
+from repro.pram.variants import AccessMode
+
+QUICK = "--quick" in sys.argv[1:]
+
+
+def racy_erew(pid: int, nprocs: int):
+    """Claims EREW, but every pid reads cell 0 and then writes cell 1."""
+    v = yield Read(0)
+    yield Write(1, pid + (0 * (v or 0)))
+
+
+def crew_broadcast(pid: int, nprocs: int):
+    """Legal CREW: concurrent read of cell 0, exclusive writes."""
+    v = yield Read(0)
+    yield Write(1 + pid, v)
+
+
+def scene_1_sanitizer():
+    print("=== 1. the check_races sanitizer ===")
+    try:
+        run_program(
+            racy_erew, 4, 8,
+            mode=AccessMode.EREW, enforce_mode=False, check_races=True,
+        )
+    except RaceError as e:
+        print(f"caught RaceError: {len(e.reports)} violation(s)")
+        for r in e.reports:
+            print(f"  {r.describe()}   [pids {list(r.pids)}, "
+                  f"needs {r.required_mode.name}]")
+    else:
+        raise AssertionError("the race must be flagged")
+    print()
+
+
+def scene_2_portability():
+    print("=== 2. portability: is this CREW program EREW-clean? ===")
+    pram = run_program(
+        crew_broadcast, 4, 8, mode=AccessMode.CREW, check_races=True
+    )
+    print(f"under its own CREW declaration: clean "
+          f"(inferred minimal mode: {pram.inferred_mode.name})")
+    try:
+        run_program(
+            crew_broadcast, 4, 8,
+            mode=AccessMode.CREW, check_races=AccessMode.EREW,
+        )
+    except RaceError as e:
+        print(f"verified against EREW instead: {e.reports[0].describe()}")
+    print()
+
+
+def scene_3_classification():
+    print("=== 3. library program classification ===")
+    builders = dict(ALL_PROGRAM_BUILDERS)
+    if QUICK:
+        keep = ("parallel-sum", "broadcast", "boolean-or")
+        builders = {k: v for k, v in builders.items() if k in keep}
+    results = classify_all_programs(builders)
+    width = max(len(n) for n in results)
+    print(f"{'program':<{width}}  declared  inferred  verdict")
+    for name, c in results.items():
+        print(f"{name:<{width}}  {c.declared_mode.name:<8}  "
+              f"{c.inferred_mode.name:<8}  {c.verdict}")
+    assert all(c.verdict == "exact" for c in results.values())
+    print("every declared mode is exact (minimal and sufficient)\n")
+
+
+def scene_4_symbolic_scan():
+    print("=== 4. symbolic address scan (static, no execution) ===")
+    for label, fn in (("racy_erew", racy_erew),
+                      ("crew_broadcast", crew_broadcast)):
+        scan = scan_program_addresses(fn)
+        print(f"{label}: proves_exclusive={scan.proves_exclusive}")
+        for s in scan.sites:
+            print(f"  line {s.lineno}: {s.op}({s.source}) -> {s.klass.value}")
+    strided = scan_program_addresses(
+        "def strided(pid, n):\n"
+        "    v = yield Read(2 * pid)\n"
+        "    yield Write(2 * pid + 1, v)\n"
+    )
+    print(f"strided (source form): proves_exclusive={strided.proves_exclusive}")
+    assert strided.proves_exclusive
+
+
+def main():
+    scene_1_sanitizer()
+    scene_2_portability()
+    scene_3_classification()
+    scene_4_symbolic_scan()
+    print("\nall scenes passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -173,13 +173,13 @@ class RanadeEmulator(Emulator):
                             moves.append((pkt, target, r))
                             # the emitted key is also a promise to BOTH
                             # successors (the ghost to the other side)
-                            for nr in {r, r ^ b}:
+                            for nr in (r, r ^ b):
                                 ghost_moves.append(((s + 1, nr), r, key))
                             emitted = True
                     if not emitted:
                         # stalled or drained: propagate the promise as a
                         # ghost (EOS when promise is INF and queues empty)
-                        for nr in {r, r ^ b}:
+                        for nr in (r, r ^ b):
                             ghost_moves.append(((s + 1, nr), r, promise))
             t += 1
             for pkt, target, from_row in moves:

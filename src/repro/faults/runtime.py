@@ -57,7 +57,7 @@ def _remap_array(n: int, dead: frozenset[int], what: str) -> np.ndarray:
     )
     if live.size == 0:
         raise FaultConfigError(f"all {n} {what}s dead — nothing left to serve")
-    for m in dead:
+    for m in sorted(dead):
         i = int(np.searchsorted(live, m))
         remap[m] = int(live[i]) if i < live.size else int(live[0])
     return remap

@@ -66,6 +66,7 @@ class PRAM:
         combine_op: str = "sum",
         init: Mapping[int, object] | Iterable | None = None,
         record_trace: bool = True,
+        enforce_mode: bool = True,
     ) -> None:
         if n_procs < 1:
             raise ValueError("need at least one processor")
@@ -75,10 +76,19 @@ class PRAM:
         self.combine_op = combine_op
         self.memory = SharedMemory(memory_size, init)
         self.record_trace = record_trace
+        #: with enforce_mode=False the machine never raises on access-mode
+        #: violations (COMMON divergence resolves lowest-pid) — the
+        #: permissive setting the race-analysis pre-run uses so a broken
+        #: program still yields a full trace to report on
+        self.enforce_mode = enforce_mode
         self.trace = MemoryTrace(num_processors=n_procs, address_space=memory_size)
         self._procs: list[Generator | None] = [None] * n_procs
         self._pending: list[object] = [None] * n_procs
         self.steps_executed = 0
+        #: populated by ``run(check_races=...)``: every conflict the
+        #: sanitizer saw (not just violations), and the minimal variant
+        self.race_reports: list | None = None
+        self.inferred_mode: AccessMode | None = None
 
     # ------------------------------------------------------------------
     def load(self, program: ProgramFactory) -> None:
@@ -121,7 +131,8 @@ class PRAM:
                     f"processor {pid} yielded {req!r}; expected Read/Write/None"
                 )
 
-        self._validate(reads, writes)
+        if self.enforce_mode:
+            self._validate(reads, writes)
 
         # 2. reads see pre-step memory
         read_results = {r.pid: self.memory.read(r.addr) for r in reads}
@@ -132,7 +143,10 @@ class PRAM:
             by_addr.setdefault(w.addr, []).append((w.pid, w.value))
         for addr, writers in by_addr.items():
             value = resolve_writes(
-                sorted(writers), self.write_policy, self.combine_op
+                sorted(writers),
+                self.write_policy,
+                self.combine_op,
+                strict=self.enforce_mode,
             )
             self.memory.write(addr, value)
 
@@ -153,15 +167,58 @@ class PRAM:
 
         return self.trace.steps[-1] if self.record_trace else StepTrace(reads, writes)
 
-    def run(self, *, max_steps: int = 100_000) -> MemoryTrace:
-        """Step until every processor halts (or raise past *max_steps*)."""
+    def run(
+        self,
+        *,
+        max_steps: int = 100_000,
+        check_races: bool | AccessMode | None = None,
+    ) -> MemoryTrace:
+        """Step until every processor halts (or raise past *max_steps*).
+
+        ``check_races`` turns on the conflict sanitizer
+        (:class:`repro.analysis.races.ConflictChecker`, fed step by step
+        so it works even with ``record_trace=False``):
+
+        * ``True`` — verify the execution against this machine's own
+          declared mode/policy and raise
+          :class:`~repro.analysis.races.RaceError` (with the structured
+          reports attached) on any violation.  Mostly useful with
+          ``enforce_mode=False``, where the machine itself stays silent.
+        * an :class:`AccessMode` — portability check: verify against
+          *that* mode instead (e.g. run on CRCW, ask "is this program
+          EREW-clean?").
+
+        Either way ``self.race_reports`` / ``self.inferred_mode`` are
+        populated with everything the sanitizer saw.
+        """
+        checker = None
+        reports: list = []
+        if check_races:
+            from repro.analysis.races import ConflictChecker
+
+            checker = ConflictChecker()
         while self.live_processors > 0:
             if self.steps_executed >= max_steps:
                 raise RuntimeError(
                     f"PRAM exceeded {max_steps} steps with "
                     f"{self.live_processors} processors live"
                 )
-            self.step()
+            step = self.step()
+            if checker is not None and step is not None:
+                reports.extend(checker.check_step(self.steps_executed - 1, step))
+        if checker is not None:
+            from repro.analysis.races import RaceError, find_violations, infer_mode
+
+            self.race_reports = reports
+            self.inferred_mode = infer_mode(reports)
+            target = check_races if isinstance(check_races, AccessMode) else self.mode
+            violations = find_violations(reports, target, self.write_policy)
+            if violations:
+                raise RaceError(
+                    f"{len(violations)} access-mode violation(s) under "
+                    f"{target.name}; first: {violations[0].describe()}",
+                    violations,
+                )
         return self.trace
 
     # ------------------------------------------------------------------
@@ -204,6 +261,8 @@ def run_program(
     combine_op: str = "sum",
     init: Mapping[int, object] | Iterable | None = None,
     max_steps: int = 100_000,
+    enforce_mode: bool = True,
+    check_races: bool | AccessMode | None = None,
 ) -> PRAM:
     """Convenience: build a PRAM, load *program*, run to completion."""
     pram = PRAM(
@@ -213,7 +272,8 @@ def run_program(
         write_policy=write_policy,
         combine_op=combine_op,
         init=init,
+        enforce_mode=enforce_mode,
     )
     pram.load(program)
-    pram.run(max_steps=max_steps)
+    pram.run(max_steps=max_steps, check_races=check_races)
     return pram

@@ -35,7 +35,12 @@ class ProgramSpec:
     #: verifier(memory_snapshot_fn) -> None, raises AssertionError on failure
     verify: Callable[[PRAM], None] | None = None
 
-    def run(self, *, max_steps: int = 100_000) -> PRAM:
+    def run(
+        self,
+        *,
+        max_steps: int = 100_000,
+        check_races: bool | AccessMode | None = None,
+    ) -> PRAM:
         pram = run_program(
             self.program,
             self.n_procs,
@@ -45,6 +50,7 @@ class ProgramSpec:
             combine_op=self.combine_op,
             init=self.init,
             max_steps=max_steps,
+            check_races=check_races,
         )
         if self.verify is not None:
             self.verify(pram)
@@ -428,7 +434,10 @@ ALL_PROGRAM_BUILDERS = {
     "parallel-sum": lambda: parallel_sum(list(range(16))),
     "prefix-sum": lambda: prefix_sum(list(range(1, 17))),
     "broadcast": lambda: broadcast(16),
-    "boolean-or": lambda: boolean_or([0] * 15 + [1]),
+    # at least two set bits so the CRCW-COMMON concurrent write actually
+    # happens on the default input (keeps the race classifier's inferred
+    # variant equal to the declared one, not merely over-declared)
+    "boolean-or": lambda: boolean_or([0] * 13 + [1] * 3),
     "find-max": lambda: find_max([3, 1, 4, 1, 5, 9, 2, 6]),
     "list-ranking": lambda: list_ranking([1, 2, 3, 4, 5, 6, 7, 7]),
     "matrix-multiply": lambda: matrix_multiply(

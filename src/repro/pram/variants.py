@@ -47,10 +47,16 @@ def resolve_writes(
     writers: list[tuple[int, object]],
     policy: WritePolicy,
     combine_op: str = "sum",
+    *,
+    strict: bool = True,
 ) -> object:
     """Resolve one address's concurrent writes to a single stored value.
 
     *writers* is a list of (processor id, value) pairs, len >= 1.
+    With ``strict=False`` a COMMON value divergence resolves lowest-pid
+    instead of raising — the permissive mode the race-analysis pre-run
+    (:func:`repro.analysis.races.prerun_trace`) uses to keep tracing
+    past the conflict it is about to report.
     """
     if not writers:
         raise ValueError("resolve_writes needs at least one writer")
@@ -59,6 +65,8 @@ def resolve_writes(
     if policy is WritePolicy.COMMON:
         values = {v for _, v in writers}
         if len(values) != 1:
+            if not strict:
+                return min(writers, key=lambda t: t[0])[1]
             raise ConcurrentAccessError(
                 f"COMMON CRCW write conflict: values {sorted(map(repr, values))}"
             )

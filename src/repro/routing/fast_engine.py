@@ -653,7 +653,7 @@ class FastPathEngine:
                 fstatic, fextra = link_faults.parts_at(fault_base + t)
                 if fstatic is not f_last_static or len(link_src) != f_n_links:
                     f_static_li = set()
-                    for u, w in fstatic:
+                    for u, w in sorted(fstatic):
                         li = link_of.get(u * num_nodes + w)
                         if li is not None:
                             f_static_li.add(li)
@@ -1359,7 +1359,7 @@ class FastPathEngine:
                                     range(n_links),
                                 )
                             )
-                        for u, w in fstatic:
+                        for u, w in sorted(fstatic):
                             li = f_code_li.get(u * num_nodes + w)
                             if li is not None:
                                 lis.append(li)
@@ -1509,7 +1509,7 @@ class FastPathEngine:
                         else:
                             fb = None
                     if used:
-                        used_list = list(used)
+                        used_list = sorted(used)
                         used_flag[used_list] = True
                         blocked = used_flag[active]
                         used_flag[used_list] = False

@@ -842,3 +842,96 @@ class TestOnlineFaultRuns:
         assert len(drv.dead_letters) == report.total_dead_lettered
         for _req_, _stamp, attempts in drv.dead_letters:
             assert attempts == 2  # exhausted exactly retry_limit
+
+
+# ---------------------------------------------------------------------------
+# determinism pins for the REPRO003 lint fixes (tools/lint)
+# ---------------------------------------------------------------------------
+
+
+class TestUnorderedIterFixPins:
+    """The lint (REPRO003) surfaced set-iteration sites in the fault and
+    routing hot paths; these tests pin the *behavior* of the fixed code
+    so reverting sorted(...) back to raw set order cannot slip through
+    even if the lint itself were relaxed."""
+
+    def test_remap_array_matches_bruteforce(self):
+        """_remap_array iterates the dead set in sorted order; each dead
+        id must land on its next live id independent of set hash order."""
+        from repro.faults.runtime import _remap_array
+
+        n = 33
+        dead = frozenset({1, 2, 3, 7, 16, 31, 32})
+        remap = _remap_array(n, dead, "module")
+        live = sorted(set(range(n)) - dead)
+        for m in range(n):
+            if m in dead:
+                expect = next((x for x in live if x > m), live[0])
+            else:
+                expect = m
+            assert remap[m] == expect, m
+
+    def test_remap_rebuild_is_repeatable(self):
+        """Detection order must not change the remap: acknowledging the
+        same fault set yields the identical array across fresh states."""
+        sched = (
+            FaultSchedule()
+            .kill_module(5, 6)
+            .kill_module(5, 1)
+            .kill_module(5, 14)
+        )
+        snaps = []
+        for _ in range(3):
+            st = FaultState(sched, num_modules=16, num_processors=16)
+            st.acknowledge(5)
+            snaps.append(st.map_modules(np.arange(16)).tolist())
+        assert snaps[0] == snaps[1] == snaps[2]
+
+    def test_mesh_many_down_links_matches(self):
+        """Several simultaneous down links: the engines translate the
+        fault segment's key set (a frozenset) in sorted order, so the
+        differential contract must hold with a multi-element set."""
+        mesh = Mesh2D.square(4)
+        sched = FaultSchedule()
+        for u, w in [(1, 2), (2, 1), (5, 6), (6, 5), (9, 13), (13, 9)]:
+            sched.link_down(0, (u, w)).link_up(60, (u, w))
+        perm = np.random.default_rng(21).permutation(mesh.num_nodes)
+
+        def run(engine):
+            return MeshRouter(
+                mesh, seed=4, engine=engine, link_faults=_timeline(sched)
+            ).route_permutation(perm)
+
+        fast, ref = run("fast"), run("reference")
+        assert fast.completed
+        assert fast.fault_stalls > 0
+        assert_router_stats_equal(fast, ref)
+
+    def test_mesh_credit_flow_with_down_links_matches(self):
+        """Credit flow control plus link faults drives the fast engine's
+        used-wire bookkeeping (a set, iterated sorted) alongside the
+        fault mask; fast and reference must still agree bit for bit."""
+        mesh = Mesh2D.square(4)
+        sched = (
+            FaultSchedule()
+            .link_down(0, (1, 2))
+            .link_down(0, (2, 1))
+            .link_up(50, (1, 2))
+            .link_up(50, (2, 1))
+        )
+        perm = np.random.default_rng(12).permutation(mesh.num_nodes)
+
+        def run(engine):
+            return MeshRouter(
+                mesh,
+                seed=9,
+                engine=engine,
+                node_capacity=4,
+                flow_control="credit",
+                link_faults=_timeline(sched),
+            ).route_permutation(perm)
+
+        fast, ref = run("fast"), run("reference")
+        assert fast.completed
+        assert fast.fault_stalls > 0
+        assert_router_stats_equal(fast, ref)

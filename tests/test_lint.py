@@ -1,0 +1,422 @@
+"""The repo-invariant lint layer (tools/lint): rules, framework, gate.
+
+Three tiers:
+
+* **rule units** — each rule exercised on synthetic sources, both the
+  violating and the idiomatic form (the fix patterns used in the tree
+  must stay clean);
+* **framework** — scoping, per-line suppressions, CLI exit codes;
+* **gate** — ``run_lint(REPO_ROOT)`` returns nothing: the tree itself
+  is the ultimate fixture, and this test is what CI's
+  ``python -m tools.lint`` enforces.
+"""
+
+import importlib
+import pkgutil
+import subprocess
+import sys
+import textwrap
+
+from tools.lint.framework import (
+    REPO_ROOT,
+    FileContext,
+    Violation,
+    default_rules,
+    run_lint,
+)
+from tools.lint.rules.engine_parity import EventKindOrderRule, StatParityRule
+from tools.lint.rules.seeded_rng import SeededRngRule
+from tools.lint.rules.unordered_iter import UnorderedIterRule
+from tools.lint.rules.wall_clock import WallClockRule
+
+HOT_PATH = "src/repro/routing/x.py"
+
+
+def _check(rule, source: str, relpath: str = "src/repro/x.py") -> list[Violation]:
+    """Run one file rule the way run_lint would (suppressions applied)."""
+    ctx = FileContext(relpath, textwrap.dedent(source))
+    assert rule.applies_to(relpath)
+    return [v for v in rule.check(ctx) if not ctx.suppressed(v.line, v.rule)]
+
+
+def _tree(tmp_path, files: dict[str, str]):
+    for rel, src in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(textwrap.dedent(src))
+    return tmp_path
+
+
+# ---------------------------------------------------------------------------
+# REPRO001 seeded RNG
+# ---------------------------------------------------------------------------
+
+class TestSeededRngRule:
+    def test_stdlib_random_import_flagged(self):
+        assert _check(SeededRngRule(), "import random\n")
+        assert _check(SeededRngRule(), "from random import randint\n")
+
+    def test_legacy_numpy_global_api_flagged(self):
+        vs = _check(SeededRngRule(), "import numpy as np\nx = np.random.rand(3)\n")
+        assert len(vs) == 1 and "np.random.rand" in vs[0].message
+
+    def test_unseeded_default_rng_flagged(self):
+        assert _check(SeededRngRule(), "import numpy as np\nr = np.random.default_rng()\n")
+        src = "from numpy.random import default_rng\nr = default_rng()\n"
+        assert _check(SeededRngRule(), src)
+
+    def test_seeded_default_rng_clean(self):
+        clean = """
+            import numpy as np
+            from numpy.random import default_rng
+            a = np.random.default_rng(42)
+            b = np.random.default_rng(None)  # explicit opt-in to entropy
+            c = default_rng(seed)
+            d = np.random.PCG64(7)
+        """
+        assert _check(SeededRngRule(), clean) == []
+
+    def test_out_of_scope_path_skipped(self):
+        assert not SeededRngRule().applies_to("benchmarks/bench_engine.py")
+
+
+# ---------------------------------------------------------------------------
+# REPRO002 wall clock
+# ---------------------------------------------------------------------------
+
+class TestWallClockRule:
+    def test_time_module_calls_flagged(self):
+        for call in ("time.time()", "time.perf_counter()", "time.sleep(1)"):
+            assert _check(WallClockRule(), f"import time\nx = {call}\n"), call
+
+    def test_from_import_alias_flagged(self):
+        src = "from time import perf_counter as pc\nx = pc()\n"
+        vs = _check(WallClockRule(), src)
+        assert len(vs) == 1 and "perf_counter" in vs[0].message
+
+    def test_datetime_now_flagged(self):
+        src = "import datetime\nx = datetime.datetime.now()\n"
+        assert _check(WallClockRule(), src)
+
+    def test_unrelated_methods_clean(self):
+        clean = """
+            import time
+
+            class Clock:
+                def time(self):
+                    return self.steps
+
+            c = Clock()
+            x = c.time()          # our virtual clock, not the wall clock
+            y = time.strftime     # attribute access, not a clock call
+        """
+        assert _check(WallClockRule(), clean) == []
+
+
+# ---------------------------------------------------------------------------
+# REPRO003 unordered iteration
+# ---------------------------------------------------------------------------
+
+class TestUnorderedIterRule:
+    def test_for_over_set_literal_flagged(self):
+        src = "for x in {1, 2}:\n    pass\n"
+        vs = _check(UnorderedIterRule(), src, HOT_PATH)
+        assert len(vs) == 1 and "for loop" in vs[0].message
+
+    def test_sorted_iteration_is_the_clean_form(self):
+        src = """
+            s = {1, 2, 3}
+            for x in sorted(s):
+                pass
+            n = len(s)
+            m = max(s)
+            ok = 7 in s
+            total = sum(v for v in s)
+        """
+        assert _check(UnorderedIterRule(), src, HOT_PATH) == []
+
+    def test_annotation_marks_a_parameter_as_set(self):
+        src = """
+            def f(dead: frozenset[int]) -> None:
+                for m in dead:
+                    pass
+        """
+        assert _check(UnorderedIterRule(), src, HOT_PATH)
+
+    def test_set_algebra_propagates(self):
+        src = """
+            a = {1}
+            b = a | {2}
+            for x in b - a:
+                pass
+        """
+        assert _check(UnorderedIterRule(), src, HOT_PATH)
+
+    def test_order_sensitive_calls_flagged(self):
+        src = "s = set()\nitems = list(s)\n"
+        assert _check(UnorderedIterRule(), src, HOT_PATH)
+        src = "s = set()\nlabel = ','.join(s)\n"
+        assert _check(UnorderedIterRule(), src, HOT_PATH)
+
+    def test_comprehension_over_set_flagged(self):
+        src = "s = {1, 2}\nout = [x + 1 for x in s]\n"
+        vs = _check(UnorderedIterRule(), src, HOT_PATH)
+        assert len(vs) == 1 and "comprehension" in vs[0].message
+
+    def test_parts_at_direct_unpack(self):
+        """The fast_engine fix pattern: parts_at's first slot is a set."""
+        src = """
+            def f(view, t):
+                fstatic, fextra = view.parts_at(t)
+                for u, w in fstatic:
+                    pass
+        """
+        vs = _check(UnorderedIterRule(), src, HOT_PATH)
+        assert len(vs) == 1
+
+    def test_parts_at_two_step_unpack(self):
+        """...and the two-step binding (parts = ...; a, b = parts)."""
+        src = """
+            def f(view, t):
+                parts = view.parts_at(t)
+                fstatic, fextra = parts
+                for u, w in fstatic:
+                    pass
+                for u, w in fextra:    # slot 1 is a tuple, not a set
+                    pass
+        """
+        vs = _check(UnorderedIterRule(), src, HOT_PATH)
+        assert len(vs) == 1 and vs[0].line == 5
+
+    def test_sorted_parts_at_unpack_clean(self):
+        src = """
+            def f(view, t):
+                fstatic, fextra = view.parts_at(t)
+                for u, w in sorted(fstatic):
+                    pass
+        """
+        assert _check(UnorderedIterRule(), src, HOT_PATH) == []
+
+    def test_scope_is_hot_paths_only(self):
+        rule = UnorderedIterRule()
+        assert rule.applies_to("src/repro/emulation/ranade.py")
+        assert rule.applies_to("src/repro/faults/runtime.py")
+        assert not rule.applies_to("src/repro/pram/machine.py")
+        assert not rule.applies_to("src/repro/analysis/races.py")
+
+
+# ---------------------------------------------------------------------------
+# REPRO004 stat parity (cross-file)
+# ---------------------------------------------------------------------------
+
+_METRICS = """
+    class RoutingStats:
+        steps: int
+        delivered: int
+        combines: int
+
+    def collect_stats(packets, *, steps, delivered, combines=0):
+        pass
+"""
+
+_ENGINE_OK = """
+    def run(packets):
+        return collect_stats(packets, steps=1, delivered=2, combines=3)
+"""
+
+
+class TestStatParityRule:
+    def _lint(self, tmp_path, fast_src, engine_src=_ENGINE_OK):
+        root = _tree(
+            tmp_path,
+            {
+                "src/repro/routing/metrics.py": _METRICS,
+                "src/repro/routing/engine.py": engine_src,
+                "src/repro/routing/fast_engine.py": fast_src,
+            },
+        )
+        return run_lint(root, rules=[StatParityRule()])
+
+    def test_matching_engines_clean(self, tmp_path):
+        assert self._lint(tmp_path, _ENGINE_OK) == []
+
+    def test_field_set_in_one_engine_only(self, tmp_path):
+        drifted = """
+            def run(packets):
+                return collect_stats(packets, steps=1, delivered=2)
+        """
+        vs = self._lint(tmp_path, drifted)
+        assert len(vs) == 1
+        assert vs[0].path == "src/repro/routing/fast_engine.py"
+        assert "combines" in vs[0].message
+
+    def test_unknown_field_flagged(self, tmp_path):
+        bad = """
+            def run(packets):
+                return collect_stats(
+                    packets, steps=1, delivered=2, combines=3, warp=9
+                )
+        """
+        vs = self._lint(tmp_path, bad)
+        assert any("warp" in v.message for v in vs)
+
+    def test_inconsistent_sites_within_one_file(self, tmp_path):
+        split = """
+            def run(packets):
+                if packets:
+                    return collect_stats(packets, steps=1, delivered=2, combines=3)
+                return collect_stats(packets, steps=0, delivered=0)
+        """
+        vs = self._lint(tmp_path, split)
+        assert any("sibling sites" in v.message for v in vs)
+
+    def test_partial_invocation_is_silent(self, tmp_path):
+        root = _tree(tmp_path, {"src/repro/routing/engine.py": _ENGINE_OK})
+        assert run_lint(root, rules=[StatParityRule()]) == []
+
+
+# ---------------------------------------------------------------------------
+# REPRO005 event-kind order (cross-file)
+# ---------------------------------------------------------------------------
+
+_PLAN = """
+    EVENT_KINDS = ("kill_module", "revive_module", "link_down", "link_up")
+"""
+
+
+class TestEventKindOrderRule:
+    def _lint(self, tmp_path, files):
+        files.setdefault("src/repro/faults/plan.py", _PLAN)
+        return run_lint(_tree(tmp_path, files), rules=[EventKindOrderRule()])
+
+    def test_known_vocabulary_clean(self, tmp_path):
+        src = """
+            from repro.faults.plan import EVENT_KINDS
+
+            def apply(events):
+                for e in sorted(events, key=lambda e: EVENT_KINDS.index(e.kind)):
+                    if e.kind == "kill_module":
+                        pass
+                    elif e.kind in ("link_down", "link_up"):
+                        pass
+        """
+        assert self._lint(tmp_path, {"src/repro/faults/runtime.py": src}) == []
+
+    def test_typo_in_kind_comparison_flagged(self, tmp_path):
+        src = """
+            def apply(e):
+                return e.kind == "kill_moduel"
+        """
+        vs = self._lint(tmp_path, {"src/repro/faults/runtime.py": src})
+        assert len(vs) == 1 and "kill_moduel" in vs[0].message
+
+    def test_ad_hoc_kind_sort_flagged(self, tmp_path):
+        src = """
+            def apply(events):
+                return sorted(events, key=lambda e: e.kind)
+        """
+        vs = self._lint(tmp_path, {"src/repro/faults/runtime.py": src})
+        assert len(vs) == 1 and "EVENT_KINDS" in vs[0].message
+
+    def test_duplicate_kind_in_tuple_flagged(self, tmp_path):
+        plan = 'EVENT_KINDS = ("kill_module", "kill_module")\n'
+        vs = self._lint(tmp_path, {"src/repro/faults/plan.py": plan})
+        assert any("duplicate" in v.message for v in vs)
+
+    def test_non_tuple_event_kinds_flagged(self, tmp_path):
+        plan = 'EVENT_KINDS = ["kill_module", "revive_module"]\n'
+        vs = self._lint(tmp_path, {"src/repro/faults/plan.py": plan})
+        assert any("tuple literal" in v.message for v in vs)
+
+
+# ---------------------------------------------------------------------------
+# framework: suppressions, scoping, CLI
+# ---------------------------------------------------------------------------
+
+class TestFramework:
+    def test_suppression_pragma_silences_one_line_one_rule(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "src/repro/util/shim.py": (
+                    "import random  # lint: ok REPRO001 vendored shim\n"
+                    "import time\n"
+                    "x = time.time()\n"
+                )
+            },
+        )
+        vs = run_lint(root, rules=[SeededRngRule(), WallClockRule()])
+        # the pragma kills the RNG finding but not the wall-clock one
+        assert [v.rule for v in vs] == ["REPRO002"]
+
+    def test_violation_format(self):
+        v = Violation("REPRO001", "src/repro/x.py", 3, 4, "nope")
+        assert v.format() == "src/repro/x.py:3:4: REPRO001 nope"
+
+    def test_default_rules_catalog(self):
+        ids = [r.id for r in default_rules()]
+        assert ids == ["REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"]
+
+    def test_cli_clean_tree_exits_zero(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.lint"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "lint clean" in proc.stdout
+
+    def test_cli_flags_violations_with_exit_one(self, tmp_path):
+        root = _tree(tmp_path, {"src/repro/bad.py": "import random\n"})
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.lint", "--root", str(root)],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "REPRO001" in proc.stdout
+
+    def test_cli_unknown_rule_is_usage_error(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.lint", "--rule", "REPRO999"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 2
+
+    def test_cli_list_rules(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.lint", "--list-rules"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        for rid in ("REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"):
+            assert rid in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# the gate
+# ---------------------------------------------------------------------------
+
+class TestTreeClean:
+    def test_repo_tree_is_lint_clean(self):
+        vs = run_lint(REPO_ROOT)
+        assert vs == [], "\n".join(v.format() for v in vs)
+
+    def test_every_dunder_all_export_resolves(self):
+        """F822 proxy: every __all__ name in every repro module exists
+        (also guards the analysis package's re-export surface)."""
+        import repro
+
+        for info in pkgutil.walk_packages(repro.__path__, "repro."):
+            mod = importlib.import_module(info.name)
+            for name in getattr(mod, "__all__", ()):
+                assert hasattr(mod, name), (
+                    f"{info.name}.__all__ lists {name!r} but the module "
+                    "does not define it"
+                )

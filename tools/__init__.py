@@ -1,0 +1,1 @@
+"""Repo tooling: doc-snippet runner, example smoke runner, lint."""

@@ -1,0 +1,25 @@
+"""Repo-invariant lint framework (``python -m tools.lint``).
+
+See :mod:`tools.lint.framework` for the architecture and
+``docs/static_analysis.md`` for the rule catalog.
+"""
+
+from tools.lint.framework import (
+    FileContext,
+    FileRule,
+    ProjectRule,
+    Rule,
+    Violation,
+    default_rules,
+    run_lint,
+)
+
+__all__ = [
+    "FileContext",
+    "FileRule",
+    "ProjectRule",
+    "Rule",
+    "Violation",
+    "default_rules",
+    "run_lint",
+]

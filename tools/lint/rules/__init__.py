@@ -1,0 +1,37 @@
+"""Rule registry: one class per hand-maintained invariant.
+
+Rule catalog (docs/static_analysis.md has the long-form version):
+
+* REPRO001 ``seeded-rng`` — no unseeded/global RNG in ``src/repro``.
+* REPRO002 ``wall-clock`` — no wall-clock calls in the deterministic core.
+* REPRO003 ``unordered-iter`` — no order-sensitive iteration over sets
+  in hot-path modules.
+* REPRO004 ``stat-parity`` — both routing engines assign the same
+  ``RoutingStats`` fields.
+* REPRO005 ``event-kind-order`` — fault code honors the canonical
+  ``EVENT_KINDS`` tuple (vocabulary + sort order).
+"""
+
+from __future__ import annotations
+
+from tools.lint.rules.engine_parity import EventKindOrderRule, StatParityRule
+from tools.lint.rules.seeded_rng import SeededRngRule
+from tools.lint.rules.unordered_iter import UnorderedIterRule
+from tools.lint.rules.wall_clock import WallClockRule
+
+ALL_RULES = [
+    SeededRngRule,
+    WallClockRule,
+    UnorderedIterRule,
+    StatParityRule,
+    EventKindOrderRule,
+]
+
+__all__ = [
+    "ALL_RULES",
+    "EventKindOrderRule",
+    "SeededRngRule",
+    "StatParityRule",
+    "UnorderedIterRule",
+    "WallClockRule",
+]

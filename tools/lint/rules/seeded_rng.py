@@ -1,0 +1,120 @@
+"""REPRO001: seeded-RNG discipline.
+
+Every randomized component must be reproducible from a single integer
+seed (``repro.util.rng``).  That breaks the moment anything draws from
+an unseeded or process-global source, so inside ``src/repro``:
+
+* the stdlib ``random`` module is banned outright (global, unseedable
+  per call site);
+* ``np.random.default_rng()`` must receive an explicit seed argument —
+  ``default_rng(seed)`` and even ``default_rng(None)`` are fine (the
+  caller visibly opted into entropy), a bare zero-argument call is not;
+* the legacy global numpy API (``np.random.seed``, ``np.random.rand``,
+  ``np.random.choice``, ...) is banned; only the ``Generator``-family
+  constructors are allowed through ``np.random``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.framework import FileContext, FileRule, Violation, call_name
+
+#: np.random attributes that are constructors, not global-state draws
+ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+class SeededRngRule(FileRule):
+    id = "REPRO001"
+    title = "seeded-RNG discipline (no bare random.* / unseeded default_rng)"
+    scopes = ("src/repro",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        # names bound by `from numpy.random import X [as Y]`
+        np_random_aliases: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield Violation(
+                            self.id,
+                            ctx.relpath,
+                            node.lineno,
+                            node.col_offset,
+                            "stdlib `random` is process-global and unseeded "
+                            "here; use repro.util.rng.as_generator(seed)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield Violation(
+                        self.id,
+                        ctx.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        "stdlib `random` is process-global and unseeded "
+                        "here; use repro.util.rng.as_generator(seed)",
+                    )
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        np_random_aliases[alias.asname or alias.name] = alias.name
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            # np.random.X(...) / numpy.random.X(...)
+            if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+                attr = parts[2]
+                if attr not in ALLOWED_NP_RANDOM:
+                    yield Violation(
+                        self.id,
+                        ctx.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"legacy global-state RNG call np.random.{attr}(); "
+                        "draw from a seeded Generator instead",
+                    )
+                elif attr == "default_rng" and not node.args and not node.keywords:
+                    yield Violation(
+                        self.id,
+                        ctx.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        "np.random.default_rng() without an explicit seed "
+                        "argument; pass the run's seed (or an explicit None)",
+                    )
+            # bare default_rng(...) imported from numpy.random
+            elif len(parts) == 1 and parts[0] in np_random_aliases:
+                original = np_random_aliases[parts[0]]
+                if original == "default_rng" and not node.args and not node.keywords:
+                    yield Violation(
+                        self.id,
+                        ctx.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        "default_rng() without an explicit seed argument; "
+                        "pass the run's seed (or an explicit None)",
+                    )
+                elif original not in ALLOWED_NP_RANDOM:
+                    yield Violation(
+                        self.id,
+                        ctx.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"legacy global-state RNG call {original}() "
+                        "(imported from numpy.random)",
+                    )

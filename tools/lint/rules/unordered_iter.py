@@ -1,0 +1,257 @@
+"""REPRO003: no order-sensitive iteration over sets in hot paths.
+
+Both engines promise bit-identical results under a fixed seed, and the
+emulators promise run-to-run determinism.  Iterating a ``set`` /
+``frozenset`` in an order-sensitive position is the classic way to leak
+nondeterminism into that contract (hash order is an implementation
+detail — stable for small ints today, not part of the promise).  In the
+hot-path packages, iterate ``sorted(the_set)`` instead; membership
+tests and order-insensitive reductions (``len``/``sum``/``min``/
+``max``/``any``/``all``/``sorted``/set-to-set conversions) stay free.
+
+Set-typedness is inferred per scope from: set/frozenset literals,
+comprehensions and constructor calls; ``|``/``&``/``-``/``^`` algebra
+and ``.union()``-family methods on set-typed operands; parameter and
+variable annotations; and a small table of known set-returning calls in
+this codebase (``LinkFaultView.parts_at`` / ``LinkFaultTimeline.segment_at``
+return a frozenset first slot).  The inference is deliberately local
+and conservative: it will miss sets smuggled across module boundaries,
+but never flags a non-set.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.framework import FileContext, FileRule, Violation
+
+#: method name -> tuple-unpack slots that are sets (codebase knowledge)
+KNOWN_SET_RETURNS: dict[str, tuple[int, ...]] = {
+    "parts_at": (0,),
+    "segment_at": (0,),
+}
+
+SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+SET_BINOPS = (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+
+#: callables whose result does not depend on argument iteration order
+ORDER_INSENSITIVE_CALLS = {
+    "sorted",
+    "len",
+    "sum",
+    "min",
+    "max",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+    "bool",
+}
+
+#: callables that materialize/propagate iteration order from arguments
+ORDER_SENSITIVE_CALLS = {
+    "list",
+    "tuple",
+    "iter",
+    "enumerate",
+    "next",
+    "zip",
+    "map",
+    "filter",
+    "reversed",
+}
+
+
+def _annotation_is_set(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset")
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.Attribute):  # typing.Set / typing.FrozenSet
+        return node.attr in ("Set", "FrozenSet", "AbstractSet", "MutableSet")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[", 1)[0].strip()
+        return head in ("set", "frozenset")
+    return False
+
+
+class _Scope:
+    """One lexical scope's set-typed names and its statements."""
+
+    def __init__(self, root: ast.AST) -> None:
+        self.root = root
+        self.set_names: set[str] = set()
+        #: names holding a tuple whose given slots are sets (bound from a
+        #: KNOWN_SET_RETURNS call, unpacked later)
+        self.tuple_slots: dict[str, tuple[int, ...]] = {}
+
+    def nodes(self) -> Iterator[ast.AST]:
+        """Walk the scope without descending into nested function scopes."""
+        stack: list[ast.AST] = [self.root]
+        while stack:
+            node = stack.pop()
+            is_root = node is self.root
+            if not is_root and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # nested scope: handled separately
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+class UnorderedIterRule(FileRule):
+    id = "REPRO003"
+    title = "no order-sensitive iteration over sets in hot-path modules"
+    scopes = (
+        "src/repro/routing",
+        "src/repro/emulation",
+        "src/repro/faults",
+        "src/repro/traffic",
+        "src/repro/topology",
+    )
+
+    # -- set-typedness ---------------------------------------------------
+    def _is_set_expr(self, node: ast.expr, scope: _Scope) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in scope.set_names
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set",
+                "frozenset",
+            ):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in SET_METHODS
+                and self._is_set_expr(node.func.value, scope)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, SET_BINOPS):
+            return self._is_set_expr(node.left, scope) or self._is_set_expr(
+                node.right, scope
+            )
+        if isinstance(node, ast.IfExp):
+            return self._is_set_expr(node.body, scope) and self._is_set_expr(
+                node.orelse, scope
+            )
+        return False
+
+    def _infer_set_names(self, scope: _Scope) -> None:
+        root = scope.root
+        if isinstance(root, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = root.args
+            for a in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                if _annotation_is_set(a.annotation):
+                    scope.set_names.add(a.arg)
+        # fixed point over simple assignments (sets assigned from sets);
+        # progress is growth of *either* table — tuple_slots feeds
+        # set_names one iteration later (two-step unpack)
+        for _ in range(3):
+            before = (len(scope.set_names), len(scope.tuple_slots))
+            for node in scope.nodes():
+                if isinstance(node, ast.AnnAssign):
+                    if _annotation_is_set(node.annotation) and isinstance(
+                        node.target, ast.Name
+                    ):
+                        scope.set_names.add(node.target.id)
+                elif isinstance(node, ast.Assign):
+                    value = node.value
+                    slots: tuple[int, ...] | None = None
+                    if isinstance(value, ast.Call):
+                        func = value.func
+                        if (
+                            isinstance(func, ast.Attribute)
+                            and func.attr in KNOWN_SET_RETURNS
+                        ):
+                            slots = KNOWN_SET_RETURNS[func.attr]
+                    elif (
+                        isinstance(value, ast.Name)
+                        and value.id in scope.tuple_slots
+                    ):
+                        slots = scope.tuple_slots[value.id]
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            if self._is_set_expr(value, scope):
+                                scope.set_names.add(target.id)
+                            if slots is not None:
+                                scope.tuple_slots[target.id] = slots
+                        elif isinstance(target, ast.Tuple) and slots is not None:
+                            for slot in slots:
+                                if slot >= len(target.elts):
+                                    continue
+                                elt = target.elts[slot]
+                                if isinstance(elt, ast.Name):
+                                    scope.set_names.add(elt.id)
+            if (len(scope.set_names), len(scope.tuple_slots)) == before:
+                break
+
+    # -- iteration contexts ----------------------------------------------
+    def _wrapped_order_insensitive(self, node: ast.AST, ctx: FileContext) -> bool:
+        """Is *node* directly an argument of an order-insensitive call?"""
+        parent = ctx.parent(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in ORDER_INSENSITIVE_CALLS
+            and node in parent.args
+        )
+
+    def _violation(self, ctx: FileContext, node: ast.AST, what: str) -> Violation:
+        return Violation(
+            self.id,
+            ctx.relpath,
+            node.lineno,
+            node.col_offset,
+            f"order-sensitive iteration over unordered set in {what}; "
+            "iterate sorted(...) instead",
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        scopes = [_Scope(ctx.tree)]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(_Scope(node))
+
+        for scope in scopes:
+            self._infer_set_names(scope)
+            for node in scope.nodes():
+                if isinstance(node, ast.For):
+                    if self._is_set_expr(node.iter, scope):
+                        yield self._violation(ctx, node.iter, "for loop")
+                elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                    if isinstance(node, ast.GeneratorExp) and (
+                        self._wrapped_order_insensitive(node, ctx)
+                    ):
+                        continue
+                    for comp in node.generators:
+                        if self._is_set_expr(comp.iter, scope):
+                            yield self._violation(ctx, comp.iter, "comprehension")
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    sensitive_args: list[ast.expr] = []
+                    if (
+                        isinstance(func, ast.Name)
+                        and func.id in ORDER_SENSITIVE_CALLS
+                    ):
+                        sensitive_args = list(node.args)
+                    elif isinstance(func, ast.Attribute) and func.attr == "join":
+                        sensitive_args = list(node.args[:1])
+                    for arg in sensitive_args:
+                        if self._is_set_expr(arg, scope):
+                            if self._wrapped_order_insensitive(node, ctx):
+                                continue
+                            yield self._violation(
+                                ctx, arg, f"{ast.unparse(func)}(...) call"
+                            )

@@ -1,0 +1,86 @@
+"""REPRO002: no wall-clock reads in the deterministic core.
+
+The engines, emulators, fault runtime, and traffic driver advance a
+*virtual* clock (network steps / epochs); results must be a pure
+function of (inputs, seed).  A wall-clock read anywhere in that core is
+either dead weight or a nondeterminism leak, so ``time.*`` clock calls,
+``time.sleep``, and ``datetime`` "now" constructors are banned inside
+``src/repro``.  Benchmarks and tools measure wall time legitimately and
+are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.framework import FileContext, FileRule, Violation, call_name
+
+BANNED_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "sleep",
+}
+
+#: attribute names that read "now" off datetime/date objects
+BANNED_NOW_ATTRS = {"now", "utcnow", "today"}
+
+
+class WallClockRule(FileRule):
+    id = "REPRO002"
+    title = "no wall-clock calls in engine/emulator code"
+    scopes = ("src/repro",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        # names bound by `from time import perf_counter [as pc]`
+        time_aliases: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in BANNED_TIME_FUNCS:
+                        time_aliases[alias.asname or alias.name] = alias.name
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) == 2 and parts[0] == "time" and parts[1] in BANNED_TIME_FUNCS:
+                yield Violation(
+                    self.id,
+                    ctx.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock call {name}(); the core runs on the "
+                    "virtual clock only",
+                )
+            elif len(parts) == 1 and parts[0] in time_aliases:
+                yield Violation(
+                    self.id,
+                    ctx.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock call {time_aliases[parts[0]]}() (imported "
+                    "from time); the core runs on the virtual clock only",
+                )
+            elif (
+                len(parts) >= 2
+                and parts[-1] in BANNED_NOW_ATTRS
+                and any(p in ("datetime", "date") for p in parts[:-1])
+            ):
+                yield Violation(
+                    self.id,
+                    ctx.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock call {name}(); the core runs on the "
+                    "virtual clock only",
+                )

@@ -24,6 +24,7 @@ QUICK_ARGS = {
     "reproduce_all.py": ["--quick"],
     "online_traffic_demo.py": ["--quick"],
     "fault_injection_demo.py": ["--quick"],
+    "race_detection_demo.py": ["--quick"],
 }
 
 TIMEOUT_S = 180
