@@ -18,11 +18,15 @@ Public API tour:
 * ``repro.traffic`` — online traffic: open-loop workload generators,
   the :class:`~repro.traffic.OnlineEmulator` streaming driver, and
   windowed service telemetry (:class:`~repro.traffic.TrafficReport`).
+* ``repro.sharding`` — the sharded multi-module memory service:
+  two-level hashing, the :class:`~repro.sharding.ShardedEmulator`
+  scatter/gather front end, and multi-tenant QoS admission.
 """
 
 from repro.emulation import LeveledEmulator, MeshEmulator, replay_program
 from repro.pram import PRAM, AccessMode, WritePolicy
 from repro.routing import LeveledRouter, MeshRouter, ShuffleRouter, StarRouter
+from repro.sharding import ShardedEmulator
 from repro.topology import (
     DWayShuffle,
     LeveledNetwork,
@@ -45,6 +49,7 @@ __all__ = [
     "MeshRouter",
     "OnlineEmulator",
     "PRAM",
+    "ShardedEmulator",
     "ShuffleRouter",
     "StarGraph",
     "StarLogicalLeveled",

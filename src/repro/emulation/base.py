@@ -10,6 +10,7 @@ every emulated step so experiments can check the paper's bounds
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -147,11 +148,62 @@ class EmulationReport:
 
 
 class Emulator(ABC):
-    """A machine that executes PRAM memory traces on a network."""
+    """A machine that executes PRAM memory traces on a network.
+
+    Emulators are *cheap, picklable, independently steppable* instances:
+    all state lives on the instance (no module-level caches), so a
+    mid-run emulator round-trips through ``pickle`` and continues
+    bit-identically — the contract the sharding layer
+    (:mod:`repro.sharding`) relies on to move shards into worker
+    processes.  Besides the one-shot :meth:`emulate_step`, every
+    emulator exposes a small queued-work API: :meth:`submit` parks step
+    traces in an inbox, :meth:`step` serves exactly one of them, and
+    :meth:`drain` serves the rest — which is what lets a scatter/gather
+    front end step N shards independently.
+    """
 
     @abstractmethod
     def emulate_step(self, step: StepTrace) -> StepCost:
         """Emulate one PRAM instruction; returns its network cost."""
+
+    # ---- queued-work API (submit / step / drain) ----------------------
+    @property
+    def inbox(self) -> deque:
+        """Step traces submitted but not yet served (FIFO)."""
+        # Created lazily so every Emulator subclass gets the queued-work
+        # API without having to call a base __init__ (and old pickles
+        # without the attribute keep loading).
+        box = getattr(self, "_inbox", None)
+        if box is None:
+            box = self._inbox = deque()
+        return box
+
+    @property
+    def pending(self) -> int:
+        """Submitted step traces waiting to be served."""
+        return len(self.inbox)
+
+    def submit(self, step: StepTrace) -> None:
+        """Queue one step trace for a later :meth:`step` / :meth:`drain`."""
+        self.inbox.append(step)
+
+    def step(self) -> StepCost | None:
+        """Serve the oldest submitted step trace; ``None`` when idle.
+
+        One call emulates exactly one PRAM step, so a coordinator can
+        interleave many emulators at step granularity (the sharding
+        front end steps every shard once per gather barrier).
+        """
+        if not self.inbox:
+            return None
+        return self.emulate_step(self.inbox.popleft())
+
+    def drain(self) -> list[StepCost]:
+        """Serve every queued step trace, in submission order."""
+        costs: list[StepCost] = []
+        while self.inbox:
+            costs.append(self.emulate_step(self.inbox.popleft()))
+        return costs
 
     def _prepare_attempt(
         self, step: StepTrace, fault_base: int, log: AttemptLog, *, rehash=True

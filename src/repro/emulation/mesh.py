@@ -390,7 +390,8 @@ class MeshEmulator(Emulator):
         Link faults apply here too (a down link stalls replies exactly
         like requests), but there is no retry loop: the generous budget
         rides out transient flaps, while a link held down past it is
-        surfaced as a hard error (see docs/faults.md).
+        surfaced as a hard error (documented in docs/faults.md,
+        "Known limitations").
         """
         router = self._make_router(engine_mode, fault_base)
         replies = [

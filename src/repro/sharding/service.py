@@ -1,0 +1,266 @@
+"""Sharded multi-module memory service: scatter/gather over emulator shards.
+
+ROADMAP open item 1, and the production-scale version of the related
+work's "emulating a large memory with a collection of smaller ones"
+(Hanlon, PAPERS.md): a :class:`ShardedEmulator` partitions the PRAM
+address space across N *independent* emulator shards with the two-level
+hash of :mod:`repro.sharding.placement` and serves each PRAM step by
+
+1. **scatter** — splitting the step into per-shard sub-steps and
+   submitting each to its shard's inbox (the queued-work API every
+   :class:`~repro.emulation.base.Emulator` exposes);
+2. **step** — serving every loaded shard exactly once, independently;
+3. **gather** — merging the per-shard :class:`StepCost` records into
+   one step cost under the parallel-shards clock model below.
+
+Each shard is a full emulator (its own network, hash function, memory,
+credit pool, fault plan), built by a caller-supplied factory from a
+seed this class derives — so per-shard flow control and per-shard
+:class:`~repro.faults.FaultPlan` schedules compose unchanged, and the
+whole service is a pure function of one root seed on either engine.
+
+Clock model: shards run in parallel, so *time-like* fields of the
+merged cost (request/reply steps, stalls, peak queue) take the maximum
+over shards — the gather barrier waits for the slowest shard — while
+*event counters* (requests, rehashes, combines, fault stalls, deadlock
+retries, credit stalls) sum.  With one shard the merge is the identity,
+which is what makes the shards=1 benchmark row bit-identical to an
+unsharded emulator built from the same derived seed.
+
+Failure model: a shard that exhausts its rehash budget raises
+:class:`~repro.faults.RehashStormError`.  The gather barrier then fails
+the *whole* step — remaining inboxes are cleared and the error
+propagates, so a driver retries the full batch.  Reads are idempotent
+and retried writes re-apply the same values, so the retry is safe; the
+work shards completed before the failure is charged to the failed
+attempt's clock by the driver's stall accounting.
+
+Shards are cheap, picklable, independently steppable instances (the
+Emulator contract), so the same front end can later scatter to a
+process pool; today it steps them in-process, in shard order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.emulation.base import Emulator, StepCost
+from repro.faults import RehashStormError
+from repro.pram.trace import StepTrace
+from repro.sharding.placement import ShardPlacement
+from repro.util.rng import as_generator
+
+__all__ = ["ShardedEmulator", "ShardedMemory", "merge_costs"]
+
+
+def merge_costs(costs: Sequence[StepCost]) -> StepCost:
+    """Gather per-shard step costs into one (max time, summed events)."""
+    if not costs:
+        return StepCost(0, 0)
+    modes: list[str] = []
+    for c in costs:
+        modes.extend(c.run_modes)
+    return StepCost(
+        request_steps=max(c.request_steps for c in costs),
+        reply_steps=max(c.reply_steps for c in costs),
+        rehashes=sum(c.rehashes for c in costs),
+        combines=sum(c.combines for c in costs),
+        max_queue=max(c.max_queue for c in costs),
+        requests=sum(c.requests for c in costs),
+        credits_stalled=sum(c.credits_stalled for c in costs),
+        stall_steps=max(c.stall_steps for c in costs),
+        fault_stalls=sum(c.fault_stalls for c in costs),
+        deadlock_retries=sum(c.deadlock_retries for c in costs),
+        run_modes=tuple(modes),
+    )
+
+
+class ShardedMemory:
+    """Read-only facade presenting the shards' memories as one space."""
+
+    def __init__(self, service: "ShardedEmulator") -> None:
+        self._service = service
+
+    @property
+    def size(self) -> int:
+        return self._service.address_space
+
+    def read(self, addr: int):
+        svc = self._service
+        return svc.shards[svc.placement.shard_of(addr)].memory.read(addr)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedMemory(size={self.size}, "
+            f"shards={self._service.n_shards})"
+        )
+
+
+class ShardedEmulator(Emulator):
+    """Scatter/gather front end over N independently steppable shards.
+
+    Parameters
+    ----------
+    shard_factory:
+        ``factory(shard_index, shard_seed) -> Emulator``.  Called once
+        per shard with a seed derived from ``seed``; build whatever
+        emulator the shard should run (network, mode, flow control,
+        fault plan) from exactly that seed so runs stay replayable.
+        Every shard must cover the full ``address_space`` (memories are
+        sparse, so this is O(touched cells), not O(M) — see
+        :class:`~repro.pram.memory.SharedMemory`).
+    n_shards:
+        Number of shards.
+    address_space:
+        M — the emulated PRAM's shared-memory size.
+    seed:
+        Root seed.  One generator draw order — placement seed first,
+        then one seed per shard — makes the whole service a pure
+        function of it.  ``shard_seeds[i]`` is exposed so a benchmark
+        can build the *unsharded* comparator from ``shard_seeds[0]``
+        and check the shards=1 row bit for bit.
+    placement_degree:
+        Degree parameter S of the outer (address -> shard) hash.
+    """
+
+    def __init__(
+        self,
+        shard_factory: Callable[[int, int], Emulator],
+        n_shards: int,
+        address_space: int,
+        *,
+        seed=None,
+        placement_degree: int = 4,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        if address_space < 1:
+            raise ValueError("address space must be positive")
+        self.n_shards = int(n_shards)
+        self.address_space = int(address_space)
+        rng = as_generator(seed)
+        seeds = rng.integers(2**63 - 1, size=self.n_shards + 1)
+        #: seed of the outer address -> shard hash
+        self.placement_seed = int(seeds[0])
+        #: per-shard emulator seeds, in shard order
+        self.shard_seeds = [int(s) for s in seeds[1:]]
+        self.placement = ShardPlacement(
+            self.address_space,
+            self.n_shards,
+            degree_param=placement_degree,
+            seed=self.placement_seed,
+        )
+        self.shards: list[Emulator] = [
+            shard_factory(i, self.shard_seeds[i]) for i in range(self.n_shards)
+        ]
+        for i, shard in enumerate(self.shards):
+            if not isinstance(shard, Emulator):
+                raise TypeError(
+                    f"shard_factory returned {type(shard).__name__!r} for "
+                    f"shard {i}; expected an Emulator"
+                )
+            mem = getattr(shard, "memory", None)
+            if mem is not None and mem.size < self.address_space:
+                raise ValueError(
+                    f"shard {i} covers only {mem.size} of "
+                    f"{self.address_space} addresses"
+                )
+        #: shared-access mode of the shard fleet (drivers key admission
+        #: exclusivity off this, exactly as for a plain emulator)
+        self.mode = getattr(self.shards[0], "mode", None)
+        self.memory = ShardedMemory(self)
+        #: global module-id stride: shard i's module m is reported as
+        #: ``i * module_stride + m``, so telemetry's module-hotness
+        #: rankings stay meaningful across the fleet
+        self.module_stride = max(
+            (self._modules_of(s) or 1) for s in self.shards
+        )
+        self._virtual_clock = 0
+
+    # ---- fleet introspection -----------------------------------------
+    @staticmethod
+    def _procs_of(shard) -> int | None:
+        if hasattr(shard, "n_processors"):
+            return int(shard.n_processors)
+        mesh = getattr(shard, "mesh", None)
+        if mesh is not None:
+            return int(mesh.num_nodes)
+        return None
+
+    @staticmethod
+    def _modules_of(shard) -> int | None:
+        faults = getattr(shard, "faults", None)
+        if faults is not None:
+            return int(faults.num_modules)
+        return ShardedEmulator._procs_of(shard)
+
+    @property
+    def scale(self) -> float:
+        """Slowest shard's scale: one gather waits for one full pass."""
+        return max(s.scale for s in self.shards)
+
+    @property
+    def n_processors(self) -> int:
+        procs = [self._procs_of(s) for s in self.shards]
+        known = [p for p in procs if p is not None]
+        if not known:
+            # Property raises -> hasattr() is False, exactly like an
+            # emulator that never had the attribute.
+            raise AttributeError("shards expose no processor count")
+        return min(known)
+
+    @property
+    def virtual_clock(self) -> int:
+        """Fleet-wide fault clock; assigning pins every shard to it."""
+        return self._virtual_clock
+
+    @virtual_clock.setter
+    def virtual_clock(self, value: int) -> None:
+        self._virtual_clock = int(value)
+        for shard in self.shards:
+            if hasattr(shard, "virtual_clock"):
+                shard.virtual_clock = self._virtual_clock
+
+    def module_of(self, addr: int) -> int:
+        """Global module serving ``addr`` (shard-strided id)."""
+        shard = self.placement.shard_of(addr)
+        return shard * self.module_stride + int(
+            self.shards[shard].module_of(addr)
+        )
+
+    # ---- the scatter/gather step -------------------------------------
+    def emulate_step(self, step: StepTrace) -> StepCost:
+        parts = self.placement.split(step)
+        for idx, sub in parts.items():
+            self.shards[idx].submit(sub)
+        costs: list[StepCost] = []
+        try:
+            for idx in sorted(parts):
+                cost = self.shards[idx].step()
+                assert cost is not None  # we just submitted
+                costs.append(cost)
+        except RehashStormError:
+            # Gather barrier failed: drop the un-served sub-steps so a
+            # retried step does not double-submit, and let the caller's
+            # retry policy re-run the whole batch (reads are idempotent,
+            # re-applied writes carry the same values).
+            for shard in self.shards:
+                shard.inbox.clear()
+            raise
+        merged = merge_costs(costs)
+        # One fleet timeline: advance by the merged (parallel-shards)
+        # cost and re-pin every shard, superseding the per-shard clocks
+        # that each advanced by their own local cost.
+        self.virtual_clock = (
+            self._virtual_clock + merged.total_steps + merged.stall_steps
+        )
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedEmulator(shards={self.n_shards}, "
+            f"M={self.address_space}, mode={self.mode!r})"
+        )

@@ -76,6 +76,15 @@ __all__ = ["OnlineEmulator"]
 OVERFLOW_POLICIES = ("defer", "drop")
 
 
+def _tenant_counts(*groups) -> dict[str, int]:
+    """Requests per tenant label across any number of request iterables."""
+    counts: dict[str, int] = {}
+    for group in groups:
+        for req in group:
+            counts[req.tenant] = counts.get(req.tenant, 0) + 1
+    return counts
+
+
 class OnlineEmulator:
     """Drive an :class:`~repro.emulation.base.Emulator` with open traffic.
 
@@ -206,6 +215,9 @@ class OnlineEmulator:
         self._heap: list[tuple[int, int]] = []
         self._seq = 0
         self._n_queued = 0
+        #: queued requests per tenant label (kept incrementally so the
+        #: per-epoch backlog snapshot is O(tenants), not O(backlog))
+        self._queued_by_tenant: dict[str, int] = {}
         #: retry attempts per request id (only failed-step survivors)
         self._retries: dict[int, int] = {}
         #: requests that exhausted ``retry_limit``: (request,
@@ -256,6 +268,17 @@ class OnlineEmulator:
             heappush(self._heap, (self._seq, req.addr))
         self._seq += 1
         self._n_queued += 1
+        t = req.tenant
+        self._queued_by_tenant[t] = self._queued_by_tenant.get(t, 0) + 1
+
+    def _dequeued(self, req: TrafficRequest) -> None:
+        """Bookkeeping for one request leaving the admission queue."""
+        self._n_queued -= 1
+        left = self._queued_by_tenant.get(req.tenant, 0) - 1
+        if left > 0:
+            self._queued_by_tenant[req.tenant] = left
+        else:
+            self._queued_by_tenant.pop(req.tenant, None)
 
     def _admit(self) -> list[tuple[TrafficRequest, int]]:
         """Pop this epoch's FIFO batch (respecting the exclusive rule).
@@ -287,7 +310,7 @@ class OnlineEmulator:
                 and self.clock - stamp > self.request_timeout
             ):
                 dq.popleft()
-                self._n_queued -= 1
+                self._dequeued(req)
                 expired.append(req)
             elif not_before > self.clock or (
                 self.exclusive and addr in seen_addrs
@@ -296,7 +319,7 @@ class OnlineEmulator:
                 continue
             else:
                 dq.popleft()
-                self._n_queued -= 1
+                self._dequeued(req)
                 if self.exclusive:
                     seen_addrs.add(addr)
                 batch.append((req, stamp))
@@ -392,14 +415,18 @@ class OnlineEmulator:
         for epoch in range(epochs):
             arrivals = stream[epoch]
             dropped = 0
+            dropped_reqs: list[TrafficRequest] = []
             if self.overflow == "drop":
                 room = self.queue_limit - self._n_queued
                 if len(arrivals) > room:
                     dropped = len(arrivals) - max(room, 0)
+                    dropped_reqs = list(arrivals[max(room, 0) :])
                     arrivals = arrivals[: max(room, 0)]
+            arrivals_by_tenant = _tenant_counts(arrivals, dropped_reqs)
             for req in arrivals:
                 self._enqueue(req, self.clock, self.clock)
             clock_before = self.clock
+            dead_before = len(self.dead_letters)
             batch = self._admit()
             expired = self._expired
             retried = dead_lettered = 0
@@ -455,6 +482,11 @@ class OnlineEmulator:
                 fault_events = tuple(
                     faults.events_between(clock_before, self.clock)
                 )
+            tenant_sojourns: dict[str, list[int]] = {}
+            for req, stamp in served:
+                tenant_sojourns.setdefault(req.tenant, []).append(
+                    self.clock - stamp
+                )
             record = EpochRecord(
                 epoch=epoch,
                 arrivals=len(arrivals) + dropped,
@@ -480,6 +512,15 @@ class OnlineEmulator:
                 dead_lettered=dead_lettered,
                 fault_events=fault_events,
                 modules=self._served_modules(served) if served else [],
+                arrivals_by_tenant=arrivals_by_tenant,
+                dropped_by_tenant=_tenant_counts(dropped_reqs),
+                delivered_by_tenant=_tenant_counts(r for r, _ in served),
+                timed_out_by_tenant=_tenant_counts(expired),
+                dead_lettered_by_tenant=_tenant_counts(
+                    r for r, _stamp, _n in self.dead_letters[dead_before:]
+                ),
+                backlog_by_tenant=dict(self._queued_by_tenant),
+                tenant_sojourns=tenant_sojourns,
             )
             report.add(record)
         return report

@@ -59,7 +59,10 @@ class TrafficRequest:
     ``rid`` is unique and monotone within a stream (the conservation
     tests key on it); ``epoch`` is the arrival epoch.  Write requests
     carry ``value`` (defaults to the rid, so concurrent-write resolution
-    stays deterministic and observable).
+    stays deterministic and observable).  ``tenant`` names the traffic
+    source for multi-tenant accounting (quotas, QoS classes, per-tenant
+    conservation — see :mod:`repro.sharding.qos`); single-tenant
+    generators leave it at ``"default"``.
     """
 
     rid: int
@@ -68,6 +71,7 @@ class TrafficRequest:
     kind: str  # "read" | "write"
     epoch: int
     value: Any = None
+    tenant: str = "default"
 
 
 # ---- arrival processes -----------------------------------------------------

@@ -77,6 +77,20 @@ class EpochRecord:
     #: memory module that served each delivered request, aligned with
     #: ``sojourns`` (empty when the emulator exposes no module mapping)
     modules: list[int] = field(default_factory=list)
+    #: per-tenant slices of this epoch's counters (keys are tenant
+    #: labels; single-tenant runs put everything under ``"default"``).
+    #: The driver maintains them so the conservation law can be checked
+    #: *per tenant* — the isolation property multi-tenant admission
+    #: (quotas, QoS classes) must not break.
+    arrivals_by_tenant: dict[str, int] = field(default_factory=dict)
+    dropped_by_tenant: dict[str, int] = field(default_factory=dict)
+    delivered_by_tenant: dict[str, int] = field(default_factory=dict)
+    timed_out_by_tenant: dict[str, int] = field(default_factory=dict)
+    dead_lettered_by_tenant: dict[str, int] = field(default_factory=dict)
+    #: admission-queue depth per tenant *after* the epoch
+    backlog_by_tenant: dict[str, int] = field(default_factory=dict)
+    #: sojourns (network steps) of this epoch's deliveries per tenant
+    tenant_sojourns: dict[str, list[int]] = field(default_factory=dict)
 
 
 class TrafficReport:
@@ -166,6 +180,88 @@ class TrafficReport:
         out: list[int] = []
         for e in self.epochs:
             out.extend(e.sojourns)
+        return out
+
+    # ---- per-tenant accounting -------------------------------------------
+    @property
+    def tenants(self) -> list[str]:
+        """Every tenant label observed anywhere in the run, sorted."""
+        names: set[str] = set()
+        for e in self.epochs:
+            names.update(e.arrivals_by_tenant)
+            names.update(e.delivered_by_tenant)
+            names.update(e.backlog_by_tenant)
+        return sorted(names)
+
+    def tenant_totals(self) -> dict[str, dict[str, int]]:
+        """Whole-run counters per tenant.
+
+        Keys per tenant: ``arrivals``, ``delivered``, ``dropped``,
+        ``timed_out``, ``dead_lettered``, and ``backlog`` (the *final*
+        epoch's queue depth, not a sum).
+        """
+        out: dict[str, dict[str, int]] = {
+            t: {
+                "arrivals": 0,
+                "delivered": 0,
+                "dropped": 0,
+                "timed_out": 0,
+                "dead_lettered": 0,
+                "backlog": 0,
+            }
+            for t in self.tenants
+        }
+        for e in self.epochs:
+            for field_name, key in (
+                ("arrivals_by_tenant", "arrivals"),
+                ("delivered_by_tenant", "delivered"),
+                ("dropped_by_tenant", "dropped"),
+                ("timed_out_by_tenant", "timed_out"),
+                ("dead_lettered_by_tenant", "dead_lettered"),
+            ):
+                for t, k in getattr(e, field_name).items():
+                    out[t][key] += k
+        if self.epochs:
+            for t, depth in self.epochs[-1].backlog_by_tenant.items():
+                out[t]["backlog"] = depth
+        return out
+
+    def tenant_conservation_deficits(self) -> dict[str, int]:
+        """The conservation law, sliced per tenant — every value must be 0.
+
+        ``arrivals - (delivered + dropped + timed_out + dead_lettered +
+        final backlog)`` per tenant: multi-tenant admission (quotas, QoS
+        priorities) may *reorder* and *delay* a tenant's requests but
+        must never lose or leak one across tenant boundaries.
+        """
+        return {
+            t: c["arrivals"]
+            - (
+                c["delivered"]
+                + c["dropped"]
+                + c["timed_out"]
+                + c["dead_lettered"]
+                + c["backlog"]
+            )
+            for t, c in self.tenant_totals().items()
+        }
+
+    def tenant_sojourn_percentiles(
+        self, qs: tuple[float, ...] = (50.0, 95.0, 99.0), *, skip_epochs: int = 0
+    ) -> dict[str, dict[str, float]]:
+        """Per-tenant sojourn percentiles — the QoS-class outcome metric."""
+        samples: dict[str, list[int]] = {}
+        for e in self.epochs[skip_epochs:]:
+            for t, sj in e.tenant_sojourns.items():
+                samples.setdefault(t, []).extend(sj)
+        out: dict[str, dict[str, float]] = {}
+        for t in self.tenants:
+            vals = samples.get(t, [])
+            if vals:
+                arr = np.asarray(vals, dtype=np.float64)
+                out[t] = {f"p{q:g}": float(np.percentile(arr, q)) for q in qs}
+            else:
+                out[t] = {f"p{q:g}": float("nan") for q in qs}
         return out
 
     # ---- dispatch history ------------------------------------------------
@@ -388,6 +484,8 @@ class TrafficReport:
             "total_dead_lettered": self.total_dead_lettered,
             "final_backlog": self.final_backlog,
             "conservation_deficit": self.conservation_deficit(),
+            "tenant_totals": self.tenant_totals(),
+            "tenant_conservation_deficits": self.tenant_conservation_deficits(),
             "run_mode_counts": self.run_mode_counts(),
             "epochs": [
                 {
@@ -415,6 +513,9 @@ class TrafficReport:
                     "dead_lettered": e.dead_lettered,
                     "fault_events": list(e.fault_events),
                     "modules": list(e.modules),
+                    "arrivals_by_tenant": dict(e.arrivals_by_tenant),
+                    "delivered_by_tenant": dict(e.delivered_by_tenant),
+                    "backlog_by_tenant": dict(e.backlog_by_tenant),
                 }
                 for e in self.epochs
             ],

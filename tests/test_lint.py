@@ -25,6 +25,7 @@ from tools.lint.framework import (
     run_lint,
 )
 from tools.lint.rules.engine_parity import EventKindOrderRule, StatParityRule
+from tools.lint.rules.hash_placement import HashPlacementRule
 from tools.lint.rules.seeded_rng import SeededRngRule
 from tools.lint.rules.unordered_iter import UnorderedIterRule
 from tools.lint.rules.wall_clock import WallClockRule
@@ -330,6 +331,58 @@ class TestEventKindOrderRule:
 
 
 # ---------------------------------------------------------------------------
+# REPRO006 hash placement
+# ---------------------------------------------------------------------------
+
+class TestHashPlacementRule:
+    def test_direct_construction_flagged(self):
+        src = """
+            from repro.hashing.family import PolynomialHash
+            h = PolynomialHash([1, 2, 3], 101, 8)
+        """
+        vs = _check(HashPlacementRule(), src, "src/repro/emulation/x.py")
+        assert len(vs) == 1 and "HashFamily" in vs[0].message
+
+    def test_dotted_construction_flagged(self):
+        src = """
+            from repro.hashing import family
+            h = family.PolynomialHash([1], 7, 2)
+        """
+        assert _check(HashPlacementRule(), src, "src/repro/emulation/x.py")
+
+    def test_family_sample_is_the_clean_form(self):
+        src = """
+            from repro.hashing.family import HashFamily
+            h = HashFamily(1024, 8, 4).sample(seed)
+        """
+        assert _check(HashPlacementRule(), src, "src/repro/emulation/x.py") == []
+
+    def test_placement_layers_are_exempt(self):
+        src = "h = PolynomialHash([1], 7, 2)\n"
+        for rel in (
+            "src/repro/hashing/family.py",
+            "src/repro/sharding/placement.py",
+        ):
+            assert _check(HashPlacementRule(), src, rel) == []
+
+    def test_pragma_escape_hatch(self):
+        src = (
+            "h = PolynomialHash([1], 7, 2)"
+            "  # lint: ok REPRO006 adversarial-coefficients test\n"
+        )
+        assert _check(HashPlacementRule(), src, "src/repro/emulation/x.py") == []
+
+    def test_non_constructor_references_clean(self):
+        src = """
+            from repro.hashing.family import PolynomialHash
+
+            def f(h: PolynomialHash) -> int:
+                return h(3)
+        """
+        assert _check(HashPlacementRule(), src, "src/repro/emulation/x.py") == []
+
+
+# ---------------------------------------------------------------------------
 # framework: suppressions, scoping, CLI
 # ---------------------------------------------------------------------------
 
@@ -355,7 +408,14 @@ class TestFramework:
 
     def test_default_rules_catalog(self):
         ids = [r.id for r in default_rules()]
-        assert ids == ["REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"]
+        assert ids == [
+            "REPRO001",
+            "REPRO002",
+            "REPRO003",
+            "REPRO004",
+            "REPRO005",
+            "REPRO006",
+        ]
 
     def test_cli_clean_tree_exits_zero(self):
         proc = subprocess.run(
@@ -395,7 +455,14 @@ class TestFramework:
             text=True,
         )
         assert proc.returncode == 0
-        for rid in ("REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"):
+        for rid in (
+            "REPRO001",
+            "REPRO002",
+            "REPRO003",
+            "REPRO004",
+            "REPRO005",
+            "REPRO006",
+        ):
             assert rid in proc.stdout
 
 

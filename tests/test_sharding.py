@@ -1,0 +1,460 @@
+"""The sharded memory service (repro.sharding): placement, scatter/gather,
+tenant QoS, and the Emulator queued-work/picklability contract.
+
+Layers under test:
+
+* **placement** — the level-1 (address -> shard) hash: determinism,
+  range, order-preserving step splits;
+* **service** — :class:`ShardedEmulator`: the shards=1 row is
+  bit-identical to an unsharded emulator on *both* engines, the fast
+  and reference fleets agree cost for cost, writes land in the owning
+  shard, gather-barrier failures clear the scattered inboxes;
+* **queued work + pickle** — the refactored Emulator contract: explicit
+  ``submit``/``step``/``drain``, and a mid-run shard round-trips
+  through ``pickle`` with a bit-identical continuation (the property
+  that lets shards move into worker processes);
+* **qos** — multi-tenant admission: strict priority, per-epoch quotas,
+  and the per-tenant conservation law.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.emulation import LeveledEmulator
+from repro.emulation.base import StepCost
+from repro.faults import RehashStormError
+from repro.pram.trace import StepTrace, permutation_step, random_trace
+from repro.sharding import (
+    MultiTenantOnlineEmulator,
+    MultiTenantWorkload,
+    ShardPlacement,
+    ShardedEmulator,
+    TenantPolicy,
+    merge_costs,
+)
+from repro.topology import DAryButterflyLeveled
+from repro.traffic import (
+    DeterministicArrivals,
+    OnlineEmulator,
+    PoissonArrivals,
+    UniformKeys,
+    WorkloadGenerator,
+)
+
+NET = DAryButterflyLeveled(2, 4)
+N_PROCS = NET.column_size
+SPACE = 4096
+ENGINES = ("fast", "reference")
+
+
+def make_factory(engine: str, **kwargs):
+    def factory(index, seed):
+        return LeveledEmulator(
+            NET, SPACE, mode="crcw", seed=seed, engine=engine, **kwargs
+        )
+
+    return factory
+
+
+def steps_for(n: int, *, kind: str = "read", start: int = 0):
+    return [
+        permutation_step(N_PROCS, SPACE, seed=100 + start + k, kind=kind)
+        for k in range(n)
+    ]
+
+
+def costs_sans_modes(costs):
+    """Step costs with the engine-mode labels stripped (the labels name
+    the executing engine, so they differ across a differential pair by
+    construction)."""
+    out = []
+    for c in costs:
+        d = dict(c.__dict__)
+        d.pop("run_modes")
+        out.append(d)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# level-1 placement
+# ---------------------------------------------------------------------------
+
+class TestShardPlacement:
+    def test_deterministic_under_seed(self):
+        a = ShardPlacement(SPACE, 8, seed=3)
+        b = ShardPlacement(SPACE, 8, seed=3)
+        addrs = list(range(0, SPACE, 7))
+        assert a.map(addrs).tolist() == b.map(addrs).tolist()
+
+    def test_range_and_spread(self):
+        p = ShardPlacement(SPACE, 8, seed=3)
+        owners = p.map(list(range(SPACE)))
+        assert owners.min() >= 0 and owners.max() < 8
+        # a universal hash over 4096 addresses must touch every shard
+        assert len(set(owners.tolist())) == 8
+
+    def test_scalar_matches_vector(self):
+        p = ShardPlacement(SPACE, 5, seed=9)
+        addrs = list(range(0, 200, 3))
+        assert [p.shard_of(a) for a in addrs] == p.map(addrs).tolist()
+
+    def test_split_partitions_and_preserves_order(self):
+        p = ShardPlacement(SPACE, 4, seed=1)
+        step = random_trace(N_PROCS, SPACE, 1, seed=5).steps[0]
+        parts = p.split(step)
+        # every request lands in exactly the shard that owns its address
+        for shard, sub in parts.items():
+            for req in sub.reads + sub.writes:
+                assert p.shard_of(req.addr) == shard
+        # reassembling the per-shard reads in shard-scan order yields a
+        # subsequence-stable partition of the original
+        all_reads = [r for sub in parts.values() for r in sub.reads]
+        assert sorted(map(id, all_reads)) == sorted(map(id, step.reads))
+        for sub in parts.values():
+            idx = [step.reads.index(r) for r in sub.reads]
+            assert idx == sorted(idx)
+
+    def test_single_shard_split_is_passthrough(self):
+        p = ShardPlacement(SPACE, 1, seed=1)
+        step = steps_for(1)[0]
+        assert p.split(step) == {0: step}
+        assert p.split(StepTrace()) == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlacement(SPACE, 0, seed=1)
+
+
+# ---------------------------------------------------------------------------
+# gather cost merge
+# ---------------------------------------------------------------------------
+
+class TestMergeCosts:
+    def test_empty_and_identity(self):
+        assert merge_costs([]) == StepCost(0, 0)
+        c = StepCost(5, 3, rehashes=1, combines=2, max_queue=4, requests=7,
+                     stall_steps=6, run_modes=("batch",))
+        assert merge_costs([c]) == c
+
+    def test_time_maxed_events_summed(self):
+        a = StepCost(10, 4, rehashes=1, combines=2, max_queue=3, requests=5,
+                     credits_stalled=1, stall_steps=7, fault_stalls=2,
+                     deadlock_retries=1, run_modes=("batch",))
+        b = StepCost(6, 8, rehashes=2, combines=1, max_queue=9, requests=4,
+                     credits_stalled=3, stall_steps=2, fault_stalls=1,
+                     deadlock_retries=2, run_modes=("batch-constrained",))
+        m = merge_costs([a, b])
+        assert (m.request_steps, m.reply_steps) == (10, 8)  # slowest shard
+        assert m.max_queue == 9 and m.stall_steps == 7
+        assert m.rehashes == 3 and m.combines == 3 and m.requests == 9
+        assert m.credits_stalled == 4 and m.fault_stalls == 3
+        assert m.deadlock_retries == 3
+        assert m.run_modes == ("batch", "batch-constrained")
+
+
+# ---------------------------------------------------------------------------
+# the Emulator queued-work API (submit / step / drain)
+# ---------------------------------------------------------------------------
+
+class TestQueuedWork:
+    def test_submit_step_drain_matches_emulate_step(self):
+        queued = LeveledEmulator(NET, SPACE, mode="crcw", seed=7)
+        direct = LeveledEmulator(NET, SPACE, mode="crcw", seed=7)
+        steps = steps_for(4)
+        for s in steps:
+            queued.submit(s)
+        assert queued.pending == 4
+        first = queued.step()
+        rest = queued.drain()
+        assert queued.pending == 0 and queued.step() is None
+        assert [first] + rest == [direct.emulate_step(s) for s in steps]
+
+    def test_inbox_survives_pickle(self):
+        em = LeveledEmulator(NET, SPACE, mode="crcw", seed=7)
+        em.submit(steps_for(1)[0])
+        clone = pickle.loads(pickle.dumps(em))
+        assert clone.pending == 1
+        assert clone.step() == em.step()
+
+
+# ---------------------------------------------------------------------------
+# the scatter/gather service
+# ---------------------------------------------------------------------------
+
+class TestShardedEmulator:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_single_shard_bit_identical_to_unsharded(self, engine):
+        service = ShardedEmulator(make_factory(engine), 1, SPACE, seed=42)
+        bare = LeveledEmulator(
+            NET, SPACE, mode="crcw", seed=service.shard_seeds[0], engine=engine
+        )
+        steps = steps_for(6)
+        assert [service.emulate_step(s) for s in steps] == [
+            bare.emulate_step(s) for s in steps
+        ]
+        assert service.virtual_clock == bare.virtual_clock
+
+    def test_engine_differential_across_shards(self):
+        steps = steps_for(6)
+        fast = ShardedEmulator(make_factory("fast"), 4, SPACE, seed=42)
+        ref = ShardedEmulator(make_factory("reference"), 4, SPACE, seed=42)
+        cf = [fast.emulate_step(s) for s in steps]
+        cr = [ref.emulate_step(s) for s in steps]
+        assert costs_sans_modes(cf) == costs_sans_modes(cr)
+
+    def test_writes_land_in_owning_shard(self):
+        service = ShardedEmulator(make_factory("fast"), 4, SPACE, seed=42)
+        step = permutation_step(N_PROCS, SPACE, seed=5, kind="write")
+        service.emulate_step(step)
+        for w in step.writes:
+            owner = service.placement.shard_of(w.addr)
+            assert service.shards[owner].memory.read(w.addr) == w.value
+            # the facade routes the read to the same cell
+            assert service.memory.read(w.addr) == w.value
+            # shards that do not own the address never saw the write
+            for i, shard in enumerate(service.shards):
+                if i != owner:
+                    assert shard.memory.read(w.addr) == 0
+
+    def test_module_of_strides_by_shard(self):
+        service = ShardedEmulator(make_factory("fast"), 4, SPACE, seed=42)
+        stride = service.module_stride
+        for addr in range(0, SPACE, 97):
+            m = service.module_of(addr)
+            shard = service.placement.shard_of(addr)
+            assert m // stride == shard
+            assert m % stride == service.shards[shard].module_of(addr)
+
+    def test_seed_derivation_is_stable(self):
+        a = ShardedEmulator(make_factory("fast"), 4, SPACE, seed=42)
+        b = ShardedEmulator(make_factory("fast"), 4, SPACE, seed=42)
+        assert a.placement_seed == b.placement_seed
+        assert a.shard_seeds == b.shard_seeds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedEmulator(make_factory("fast"), 0, SPACE, seed=1)
+        with pytest.raises(TypeError):
+            ShardedEmulator(lambda i, s: object(), 2, SPACE, seed=1)
+        small = lambda i, s: LeveledEmulator(NET, SPACE // 2, seed=s)
+        with pytest.raises(ValueError):
+            ShardedEmulator(small, 2, SPACE, seed=1)
+
+    def test_gather_failure_clears_scattered_inboxes(self):
+        class FailingShard(LeveledEmulator):
+            def emulate_step(self, step):
+                raise RehashStormError("wedged", rehashes=3, stall_steps=11)
+
+        def factory(index, seed):
+            cls = FailingShard if index == 0 else LeveledEmulator
+            return cls(NET, SPACE, mode="crcw", seed=seed, engine="fast")
+
+        service = ShardedEmulator(factory, 4, SPACE, seed=42)
+        with pytest.raises(RehashStormError):
+            service.emulate_step(steps_for(1)[0])
+        assert all(shard.pending == 0 for shard in service.shards)
+
+    def test_online_driver_runs_a_sharded_service(self):
+        service = ShardedEmulator(make_factory("fast"), 4, SPACE, seed=42)
+        workload = WorkloadGenerator(
+            N_PROCS,
+            arrivals=PoissonArrivals(0.5 * N_PROCS),
+            keys=UniformKeys(SPACE),
+            seed=7,
+        )
+        report = OnlineEmulator(service, workload).run(12)
+        assert report.conservation_deficit() == 0
+        assert set(report.run_mode_counts()) <= {"batch", "batch-constrained"}
+        # single-tenant runs account everything under "default"
+        assert report.tenants == ["default"]
+        assert report.tenant_conservation_deficits() == {"default": 0}
+
+    def test_per_shard_credit_pools_compose(self):
+        service = ShardedEmulator(
+            make_factory("fast", node_capacity=2, flow_control="credit"),
+            4,
+            SPACE,
+            seed=42,
+        )
+        costs = [service.emulate_step(s) for s in steps_for(4)]
+        modes = {m for c in costs for m in c.run_modes}
+        # request phases take the vectorized constrained-batch path on
+        # every shard; replies run unconstrained, as on a bare emulator
+        assert "batch-constrained" in modes
+        assert modes <= {"batch", "batch-constrained"}
+
+
+# ---------------------------------------------------------------------------
+# picklability: a mid-run shard moves and continues bit-identically
+# ---------------------------------------------------------------------------
+
+class TestPicklability:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_midrun_shard_roundtrip_continues_identically(self, engine):
+        em = LeveledEmulator(NET, SPACE, mode="crcw", seed=13, engine=engine)
+        for s in steps_for(3, kind="write"):
+            em.emulate_step(s)
+        clone = pickle.loads(pickle.dumps(em))
+        cont = steps_for(3, start=50)
+        assert [em.emulate_step(s) for s in cont] == [
+            clone.emulate_step(s) for s in cont
+        ]
+        assert em.virtual_clock == clone.virtual_clock
+        assert em.memory.snapshot() == clone.memory.snapshot()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_midrun_service_roundtrip(self, engine):
+        service = ShardedEmulator(make_factory(engine), 4, SPACE, seed=42)
+        for s in steps_for(3):
+            service.emulate_step(s)
+        clone = pickle.loads(pickle.dumps(service))
+        cont = steps_for(3, start=50)
+        assert [service.emulate_step(s) for s in cont] == [
+            clone.emulate_step(s) for s in cont
+        ]
+
+
+# ---------------------------------------------------------------------------
+# multi-tenant workloads
+# ---------------------------------------------------------------------------
+
+def _tenant_sources(rate: float = 4.0, read_fraction: float = 1.0):
+    return {
+        name: WorkloadGenerator(
+            N_PROCS,
+            arrivals=DeterministicArrivals(rate),
+            keys=UniformKeys(SPACE),
+            read_fraction=read_fraction,
+            seed=i,
+        )
+        for i, name in enumerate(("gold", "silver", "bronze"))
+    }
+
+
+class TestMultiTenantWorkload:
+    def test_stream_is_deterministic_and_labeled(self):
+        wl = MultiTenantWorkload(_tenant_sources())
+        s1, s2 = wl.stream(5), wl.stream(5)
+        assert s1 == s2
+        tenants = {r.tenant for epoch in s1 for r in epoch}
+        assert tenants == {"gold", "silver", "bronze"}
+
+    def test_rids_globally_unique_and_monotone(self):
+        wl = MultiTenantWorkload(_tenant_sources())
+        rids = [r.rid for epoch in wl.stream(5) for r in epoch]
+        assert rids == sorted(rids) == list(range(len(rids)))
+
+    def test_write_values_follow_renumbered_rids(self):
+        wl = MultiTenantWorkload(_tenant_sources(read_fraction=0.0))
+        for epoch in wl.stream(3):
+            for r in epoch:
+                assert r.kind == "write" and r.value == r.rid
+
+    def test_address_space_mismatch_rejected(self):
+        bad = _tenant_sources()
+        bad["bronze"] = WorkloadGenerator(
+            N_PROCS,
+            arrivals=DeterministicArrivals(1.0),
+            keys=UniformKeys(SPACE * 2),
+            seed=9,
+        )
+        with pytest.raises(ValueError):
+            MultiTenantWorkload(bad)
+        with pytest.raises(ValueError):
+            MultiTenantWorkload({})
+
+
+# ---------------------------------------------------------------------------
+# QoS admission
+# ---------------------------------------------------------------------------
+
+class TestTenantPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantPolicy("t", qos="platinum")
+        with pytest.raises(ValueError):
+            TenantPolicy("t", quota=0)
+        assert TenantPolicy("t", qos="gold").rank < TenantPolicy("t").rank
+
+
+class TestQoSAdmission:
+    POLICIES = (
+        TenantPolicy("gold", qos="gold"),
+        TenantPolicy("silver", qos="silver", quota=4),
+        TenantPolicy("bronze", qos="bronze", quota=2),
+    )
+
+    def _driver(self, *, admit_limit=None, policies=POLICIES):
+        em = LeveledEmulator(NET, SPACE, mode="crcw", seed=11, engine="fast")
+        wl = MultiTenantWorkload(_tenant_sources())
+        return MultiTenantOnlineEmulator(
+            em, wl, policies=policies, admit_limit=admit_limit
+        )
+
+    def test_strict_priority_under_scarce_admission(self):
+        # 4 gold arrive per epoch; an admit_limit of 4 means gold's
+        # class priority must claim every admission slot.
+        driver = self._driver(admit_limit=4, policies=(
+            TenantPolicy("gold", qos="gold"),
+            TenantPolicy("silver", qos="silver"),
+            TenantPolicy("bronze", qos="bronze"),
+        ))
+        report = driver.run(4)
+        first = report.epochs[0]
+        assert first.delivered_by_tenant == {"gold": 4}
+
+    def test_quota_caps_each_epoch(self):
+        driver = self._driver()
+        report = driver.run(8)
+        for e in report.epochs:
+            assert e.delivered_by_tenant.get("silver", 0) <= 4
+            assert e.delivered_by_tenant.get("bronze", 0) <= 2
+
+    def test_conservation_per_tenant(self):
+        report = self._driver().run(10)
+        assert all(
+            v == 0 for v in report.tenant_conservation_deficits().values()
+        )
+
+    def test_unknown_tenant_gets_default_policy(self):
+        driver = self._driver(policies=())
+        assert driver.policy_for("nobody").qos == "silver"
+        report = driver.run(4)
+        assert all(
+            v == 0 for v in report.tenant_conservation_deficits().values()
+        )
+
+    def test_duplicate_policy_rejected(self):
+        em = LeveledEmulator(NET, SPACE, seed=1)
+        wl = MultiTenantWorkload(_tenant_sources())
+        with pytest.raises(ValueError):
+            MultiTenantOnlineEmulator(
+                em, wl, policies=(TenantPolicy("a"), TenantPolicy("a"))
+            )
+
+    def test_sharded_qos_engine_differential(self):
+        def run(engine):
+            service = ShardedEmulator(make_factory(engine), 4, SPACE, seed=42)
+            wl = MultiTenantWorkload(_tenant_sources())
+            return MultiTenantOnlineEmulator(
+                service, wl, policies=self.POLICIES
+            ).run(8)
+
+        fast, ref = run("fast"), run("reference")
+        strip = lambda d: {
+            k: v for k, v in d.items() if k != "run_mode_counts"
+        }
+
+        def strip_epochs(dump):
+            out = strip(dump)
+            out["epochs"] = [
+                {k: v for k, v in e.items() if k != "run_modes"}
+                for e in dump["epochs"]
+            ]
+            return out
+
+        assert json.dumps(strip_epochs(fast.to_dict()), sort_keys=True) == (
+            json.dumps(strip_epochs(ref.to_dict()), sort_keys=True)
+        )

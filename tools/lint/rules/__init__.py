@@ -10,11 +10,14 @@ Rule catalog (docs/static_analysis.md has the long-form version):
   ``RoutingStats`` fields.
 * REPRO005 ``event-kind-order`` — fault code honors the canonical
   ``EVENT_KINDS`` tuple (vocabulary + sort order).
+* REPRO006 ``hash-placement`` — ``PolynomialHash`` is constructed only
+  inside ``hashing/`` and ``sharding/`` (placement stays centralized).
 """
 
 from __future__ import annotations
 
 from tools.lint.rules.engine_parity import EventKindOrderRule, StatParityRule
+from tools.lint.rules.hash_placement import HashPlacementRule
 from tools.lint.rules.seeded_rng import SeededRngRule
 from tools.lint.rules.unordered_iter import UnorderedIterRule
 from tools.lint.rules.wall_clock import WallClockRule
@@ -25,11 +28,13 @@ ALL_RULES = [
     UnorderedIterRule,
     StatParityRule,
     EventKindOrderRule,
+    HashPlacementRule,
 ]
 
 __all__ = [
     "ALL_RULES",
     "EventKindOrderRule",
+    "HashPlacementRule",
     "SeededRngRule",
     "StatParityRule",
     "UnorderedIterRule",

@@ -1,0 +1,54 @@
+"""REPRO006: centralized hash placement.
+
+Address placement is a *two-level* contract: the sharding layer's
+global hash picks the shard, each emulator's family-sampled hash picks
+the module (``docs/sharding.md``).  Both levels draw their
+``PolynomialHash`` through :class:`repro.hashing.family.HashFamily`, so
+degree parameters, the prime modulus, and the seed derivation stay in
+one place.  A ``PolynomialHash(...)`` constructed by hand anywhere else
+bypasses that — hand-picked coefficients silently break the balance
+guarantees (Lemma 2.2) every emulation bound rests on, and a placement
+decision ends up living outside the placement layers.
+
+Hence: direct ``PolynomialHash`` construction is only allowed inside
+``src/repro/hashing/`` and ``src/repro/sharding/``.  Everything else
+must go through ``HashFamily.sample`` (or take a ready hash as an
+argument).  Suppress a deliberate exception with
+``# lint: ok REPRO006 <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.framework import FileContext, FileRule, Violation, call_name
+
+#: the only packages allowed to construct PolynomialHash directly
+ALLOWED_PREFIXES = ("src/repro/hashing/", "src/repro/sharding/")
+
+
+class HashPlacementRule(FileRule):
+    id = "REPRO006"
+    title = "PolynomialHash construction only inside hashing/ and sharding/"
+    scopes = ("src/repro",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.relpath.startswith(ALLOWED_PREFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            if name.split(".")[-1] == "PolynomialHash":
+                yield Violation(
+                    self.id,
+                    ctx.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    "direct PolynomialHash construction outside the "
+                    "placement layers; sample it via HashFamily "
+                    "(repro.hashing.family) so placement stays centralized",
+                )

@@ -6,6 +6,13 @@ stay self-contained), with the working directory at the repo root.
 Blocks opened with ```python only — other languages and plain fences
 are ignored.  Exit code is the number of failing (doc, block) pairs.
 
+A no-args run also *audits coverage*: it re-discovers every markdown
+file under the repo root README and ``docs/`` (recursively) and fails
+if any file containing ```python fences was not executed — so a newly
+added docs page cannot silently sit outside the executed set (e.g. in
+a subdirectory a narrower glob would miss).  Runs with explicit file
+arguments are partial by design and skip the audit.
+
 Run:  python tools/run_doc_snippets.py [FILE.md ...]
 """
 
@@ -62,16 +69,42 @@ def run_file(path: Path) -> int:
     return failures
 
 
+def discover_documented() -> list[Path]:
+    """Every markdown file the runnable-snippets promise covers."""
+    targets = [REPO_ROOT / "README.md"]
+    targets += sorted((REPO_ROOT / "docs").rglob("*.md"))
+    return targets
+
+
+def coverage_failures(executed: set[Path]) -> int:
+    """Documented files with ```python fences that were never executed.
+
+    Guards the discovery logic itself: if a docs page lands somewhere
+    the execution list misses, its fences would silently rot — this
+    re-scan turns that into a CI failure instead.
+    """
+    missed = 0
+    for path in discover_documented():
+        if path in executed or not path.exists():
+            continue
+        if extract_blocks(path.read_text()):
+            rel = path.relative_to(REPO_ROOT)
+            print(f"MISSED {rel}: has ```python fences but was not executed")
+            missed += 1
+    return missed
+
+
 def main(argv: list[str]) -> int:
     os.chdir(REPO_ROOT)  # the docstring's promised working directory
     if argv:
         targets = [Path(a).resolve() for a in argv]
     else:
-        targets = [REPO_ROOT / "README.md"]
-        targets += sorted((REPO_ROOT / "docs").glob("*.md"))
+        targets = discover_documented()
     failures = 0
     for path in targets:
         failures += run_file(path)
+    if not argv:
+        failures += coverage_failures(set(targets))
     print(f"\n{'FAILED' if failures else 'all green'}: "
           f"{failures} failing snippet(s) across {len(targets)} file(s)")
     return failures
