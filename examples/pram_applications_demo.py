@@ -1,0 +1,123 @@
+"""Real PRAM algorithms through the full emulation stack, end to end.
+
+The paper's promise is a *workflow*: write a parallel algorithm once
+against the ideal PRAM, then run the same computation on a physical
+network at O(log n) (leveled) or Theta(sqrt n) (mesh) cost per step.
+This demo makes that concrete with two real algorithms:
+
+1. **connected components** — Liu-Tarjan-Zhong-style min-label hooking
+   with pointer shortcutting, a CRCW combining program; every vertex
+   label is checked against a sequential union-find oracle;
+2. **bisimulation** — coarsest-partition refinement on a labeled
+   transition system via signature elections, checked against the
+   classical sequential refinement loop;
+3. **the slowdown readings** — each run reports emulated slowdown next
+   to the network scale and the paper's predicted log2(N) overhead, so
+   the O(log n) theorem is a number you can look at;
+4. **a deliberately broken variant** — the same hooking algorithm
+   misdeclared as EREW, caught by the race sanitizer before it can be
+   quoted under the wrong theorem.
+
+Run:  python examples/pram_applications_demo.py [--quick]
+"""
+
+import sys
+
+from repro.analysis.races import RaceError
+from repro.apps import (
+    bisimulation,
+    bisimulation_oracle,
+    broken_erew_components,
+    connected_components,
+    connected_components_oracle,
+    gnp_graph,
+    random_lts,
+    run_app,
+    star_graph,
+)
+from repro.pram.machine import PRAM
+
+QUICK = "--quick" in sys.argv[1:]
+
+
+def show(run):
+    print(
+        f"  {run.app:22s} {run.network:8s} N={run.n_processors:<4d} "
+        f"slowdown={run.slowdown:6.2f}  scale={run.scale:<5.1f} "
+        f"normalized={run.normalized_slowdown:5.2f}  "
+        f"predicted log2(N)={run.predicted_log:4.1f}  "
+        f"oracle={'ok' if run.oracle_match else 'FAIL'}"
+    )
+
+
+def scene_1_connected_components():
+    print("=== 1. connected components on both networks ===")
+    g = gnp_graph(12, 0.25, seed=7)
+    oracle = connected_components_oracle(g)
+    print(f"G(n={g.n}, m={g.m}) seeded; oracle labels: {oracle}")
+    for network in ("leveled", "mesh"):
+        show(run_app(connected_components(g), oracle, network=network, seed=0))
+    print()
+
+
+def scene_2_bisimulation():
+    print("=== 2. bisimulation (partition refinement) ===")
+    lts = random_lts(8, 2, seed=11)
+    oracle = bisimulation_oracle(lts)
+    print(f"LTS with {lts.n_states} states, {lts.n_labels} labels; "
+          f"oracle partition: {oracle}")
+    networks = ("leveled",) if QUICK else ("leveled", "mesh")
+    for network in networks:
+        show(run_app(bisimulation(lts), oracle, network=network, seed=0))
+    print()
+
+
+def scene_3_combining():
+    print("=== 3. CRCW combining on a hot cell (star graph) ===")
+    g = star_graph(12)
+    run = run_app(
+        connected_components(g), connected_components_oracle(g),
+        network="leveled", seed=0,
+    )
+    show(run)
+    print(
+        f"  every leaf hooks onto vertex 0: {run.combines} of "
+        f"{run.requests} routed requests were absorbed by combining "
+        f"(hit rate {run.combining_hit_rate:.0%})"
+    )
+    print()
+
+
+def scene_4_broken_variant():
+    print("=== 4. the sanitizer catches a misdeclared variant ===")
+    spec = broken_erew_components(gnp_graph(12, 0.25, seed=7))
+    pram = PRAM(
+        spec.n_procs,
+        spec.memory_size,
+        mode=spec.mode,
+        write_policy=spec.write_policy,
+        combine_op=spec.combine_op,
+        init=spec.init,
+        enforce_mode=False,
+    )
+    pram.load(spec.program)
+    try:
+        pram.run(check_races=True)
+    except RaceError as exc:
+        print(f"  {spec.name!r} declared EREW -> RaceError:")
+        print(f"    {exc.args[0].splitlines()[0]}")
+    else:
+        raise AssertionError("the broken variant must be flagged")
+    print()
+
+
+def main():
+    scene_1_connected_components()
+    scene_2_bisimulation()
+    scene_3_combining()
+    scene_4_broken_variant()
+    print("done: every emulated labeling matched its sequential oracle")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,7 +17,12 @@ contract into a checkable artifact:
 * :func:`classify_program` pre-runs a :class:`~repro.pram.programs.ProgramSpec`
   on a permissive machine (mode enforcement off) and verifies the
   declared mode/policy against the inferred one — the machinery behind
-  the "every library program is classified" test gate.
+  the "every library program is classified" test gate.  The registry it
+  sweeps includes the application programs from :mod:`repro.apps`
+  (connected components, bisimulation), whose addresses are
+  data-dependent — the trace-level check is what certifies them, since
+  the static scan cannot; ``BENCH_apps.json`` re-asserts the ``exact``
+  verdict per benchmark row.
 * :class:`SymbolicAddressScan` is the static half: it inspects the
   program's AST and proves exclusivity for address expressions that are
   affine in ``pid`` (``Read(pid + stride)``, ``Write(2 * pid, ...)``),

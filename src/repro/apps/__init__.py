@@ -1,0 +1,75 @@
+"""Real PRAM applications run end to end through the emulation stack.
+
+The layer above :mod:`repro.pram`: actual algorithms (connected
+components, bisimulation) with data-dependent access patterns, seeded
+input families (:mod:`repro.apps.graphs`), independent sequential
+oracles (:mod:`repro.apps.oracles`), and a one-call harness
+(:mod:`repro.apps.harness`) that replays an application on either
+network/engine and scores the emulated slowdown against the paper's
+O(log n) prediction.
+"""
+
+from repro.apps.graphs import (
+    LTS,
+    Graph,
+    bounded_degree_graph,
+    cycle_lts,
+    gnp_graph,
+    matching_graph,
+    path_graph,
+    random_lts,
+    star_graph,
+)
+from repro.apps.oracles import bisimulation_oracle, connected_components_oracle
+from repro.apps.programs import (
+    APP_PROGRAM_BUILDERS,
+    bisimulation,
+    broken_erew_components,
+    connected_components,
+    matching_components,
+)
+
+# The harness sits *above* the emulation stack, which itself imports
+# the PRAM program library — and that library merges this package's
+# builders at its own import time.  Re-exporting the harness lazily
+# keeps `repro.apps` importable from either end of that chain.
+_HARNESS_EXPORTS = (
+    "AppRun",
+    "build_emulator",
+    "leveled_for",
+    "mesh_for",
+    "run_app",
+)
+
+
+def __getattr__(name: str):
+    if name in _HARNESS_EXPORTS:
+        from repro.apps import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "APP_PROGRAM_BUILDERS",
+    "AppRun",
+    "Graph",
+    "LTS",
+    "bisimulation",
+    "bisimulation_oracle",
+    "bounded_degree_graph",
+    "broken_erew_components",
+    "build_emulator",
+    "connected_components",
+    "connected_components_oracle",
+    "cycle_lts",
+    "gnp_graph",
+    "leveled_for",
+    "matching_components",
+    "matching_graph",
+    "mesh_for",
+    "path_graph",
+    "random_lts",
+    "run_app",
+    "star_graph",
+]

@@ -1,0 +1,66 @@
+"""Independent sequential oracles for the PRAM applications.
+
+These are the first correctness anchors in the repo that are *not* the
+emulation stack checking itself: classic textbook algorithms — path-
+compressed union-find and signature-based partition refinement — whose
+outputs the emulated PRAM runs must match label for label.
+
+Both oracles canonicalize the same way the PRAM programs converge:
+
+* connected components label every vertex with the **minimum vertex id**
+  of its component;
+* bisimulation labels every state with the **minimum state id** of its
+  bisimulation class.
+
+so agreement is plain list equality, no isomorphism check needed.
+"""
+
+from __future__ import annotations
+
+from repro.apps.graphs import LTS, Graph
+
+
+def connected_components_oracle(graph: Graph) -> list[int]:
+    """Union-find connected components; label = min vertex id in component."""
+    parent = list(range(graph.n))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for u, v in graph.edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            # union by min id keeps the root the component minimum
+            lo, hi = (ru, rv) if ru < rv else (rv, ru)
+            parent[hi] = lo
+    return [find(v) for v in range(graph.n)]
+
+
+def bisimulation_oracle(lts: LTS) -> list[int]:
+    """Coarsest-partition refinement; label = min state id in class.
+
+    Classic signature refinement: start from the observation partition
+    and repeatedly split blocks by the tuple (own block, blocks of the
+    one a-successor per label) until stable.  For deterministic total
+    LTSs this computes exactly strong bisimilarity.
+    """
+    block = list(lts.obs)
+    while True:
+        signatures = [
+            (block[s], tuple(block[t] for t in lts.delta[s]))
+            for s in range(lts.n_states)
+        ]
+        representative: dict[tuple, int] = {}
+        for s in range(lts.n_states):
+            sig = signatures[s]
+            if sig not in representative or s < representative[sig]:
+                representative[sig] = s
+        new_block = [representative[signatures[s]] for s in range(lts.n_states)]
+        if new_block == block:
+            return block
+        block = new_block

@@ -358,6 +358,7 @@ class MeshEmulator(Emulator):
                     values,
                     engine_mode,
                     fault_base=self.virtual_clock + log.stall_steps + req_stats.steps,
+                    log=log,
                 )
             reply_steps = reply_stats.steps
             max_queue = max(max_queue, reply_stats.max_queue)
@@ -382,25 +383,57 @@ class MeshEmulator(Emulator):
         return cost
 
     def _replies_fresh_route(
-        self, read_hosts, values, engine_mode: str, fault_base: int = 0
+        self, read_hosts, values, engine_mode: str, fault_base: int = 0, log=None
     ):
         """EREW replies: an independent run of the 3-stage router from the
         modules back to the requesting processors (the paper's phase 2).
 
-        Link faults apply here too (a down link stalls replies exactly
-        like requests), but there is no retry loop: the generous budget
-        rides out transient flaps, while a link held down past it is
-        surfaced as a hard error (documented in docs/faults.md,
-        "Known limitations").
+        Link faults apply here too: a down link stalls replies exactly
+        like requests, and the generous budget rides out transient
+        flaps.  A link held down *past* a whole budget fails the
+        attempt, which is retried on a fresh router with the fault
+        clock advanced by the burned steps — so a prolonged down
+        window is ridden out attempt by attempt instead of surfacing
+        as a hard error.  Failed attempts are charged to the step's
+        stall accounting (``log``), mirroring the request-phase retry
+        loop; a healthy first attempt is bit-identical to the old
+        single-shot path.
         """
-        router = self._make_router(engine_mode, fault_base)
-        replies = [
-            Packet(i, host.node, host.source, kind="reply", payload=values[host.pid])
-            for i, host in enumerate(read_hosts)
-        ]
         n = self.mesh.rows + self.mesh.cols
-        stats = router.route(None, None, max_steps=500 * n + 2000, packets=replies)
+        budget = 500 * n + 2000
+        stats = None
+        for _attempt in range(self.max_rehashes + 1):
+            router = self._make_router(engine_mode, fault_base)
+            # rebuild each attempt: routing mutates the packets
+            replies = [
+                Packet(
+                    i, host.node, host.source, kind="reply", payload=values[host.pid]
+                )
+                for i, host in enumerate(read_hosts)
+            ]
+            stats = router.route(None, None, max_steps=budget, packets=replies)
+            if stats.completed:
+                break
+            fault_base += stats.steps
+            if log is not None:
+                log.stall_steps += stats.steps
+                log.fault_stalls += stats.fault_stalls
+                log.run_modes.append(stats.run_mode)
         if not stats.completed:
+            if self.faults.schedule:
+                raise RehashStormError(
+                    "mesh reply routing failed after retries "
+                    "(fault schedule active)",
+                    rehashes=log.rehashes if log is not None else 0,
+                    stall_steps=log.stall_steps if log is not None else 0,
+                    deadlock_retries=(
+                        log.deadlock_retries if log is not None else 0
+                    ),
+                    fault_failfasts=(
+                        log.fault_failfasts if log is not None else 0
+                    ),
+                    run_modes=tuple(log.run_modes) if log is not None else (),
+                )
             raise RuntimeError("mesh reply routing did not complete")
         if self.validate and stats.delivered != len(read_hosts):
             raise AssertionError("lost replies in mesh emulation")

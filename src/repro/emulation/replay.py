@@ -35,9 +35,17 @@ class ReplayResult:
 
 
 def configure_emulator_for(spec: ProgramSpec, emulator: Emulator) -> None:
-    """Align the emulator's write semantics and memory with the program."""
-    emulator.write_policy = spec.write_policy
-    emulator.combine_op = spec.combine_op
+    """Align the emulator's write semantics and memory with the program.
+
+    Works on a :class:`~repro.sharding.ShardedEmulator` too: write
+    semantics are pushed to every shard (the front end itself never
+    resolves writes) and init values route through the sharded memory
+    facade to their owning shards.
+    """
+    targets = getattr(emulator, "shards", None) or [emulator]
+    for target in targets:
+        target.write_policy = spec.write_policy
+        target.combine_op = spec.combine_op
     if spec.mode is not AccessMode.EREW and getattr(emulator, "mode", None) == "erew":
         raise ValueError(
             f"{spec.name} needs concurrent access; build the emulator with "

@@ -430,7 +430,7 @@ def histogram(keys: Sequence[int], n_bins: int) -> ProgramSpec:
     )
 
 
-ALL_PROGRAM_BUILDERS = {
+ALL_PROGRAM_BUILDERS: dict[str, Callable[[], ProgramSpec]] = {
     "parallel-sum": lambda: parallel_sum(list(range(16))),
     "prefix-sum": lambda: prefix_sum(list(range(1, 17))),
     "broadcast": lambda: broadcast(16),
@@ -446,3 +446,13 @@ ALL_PROGRAM_BUILDERS = {
     "odd-even-sort": lambda: odd_even_sort([5, 3, 8, 1, 9, 2, 7, 4]),
     "histogram": lambda: histogram([0, 1, 1, 2, 2, 2, 3, 0], 4),
 }
+
+# The application layer (repro.apps) contributes its data-dependent
+# workloads — connected components, bisimulation, and the EREW matching
+# specialization — to the same registry, so classification sweeps and
+# emulation differentials cover them automatically.  apps.programs
+# defers its ProgramSpec import to builder call time, which keeps this
+# bottom-of-module import acyclic.
+from repro.apps.programs import APP_PROGRAM_BUILDERS
+
+ALL_PROGRAM_BUILDERS.update(APP_PROGRAM_BUILDERS)

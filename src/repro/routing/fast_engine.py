@@ -1130,8 +1130,12 @@ class FastPathEngine:
             # code table (built lazily on the first nonempty blocked
             # set); the boolean flag array is rebuilt only when the
             # blocked set actually changes (per timeline segment, plus
-            # slow-link phase flips).
-            f_code_li: dict[int, int] | None = None
+            # slow-link phase flips).  A code maps to a *list* of dense
+            # ids: arithmetic link interning (mesh ``u*4+direction``,
+            # leveled ``u*d+slot``) gives boundary nodes several slots
+            # with the same (src, dst) endpoints, and a down wire must
+            # block every slot that crosses it.
+            f_code_li: dict[int, list[int]] | None = None
             f_flags = np.zeros(n_links, dtype=bool)
             f_cur = np.empty(0, dtype=np.int64)
             f_last_parts: tuple | None = None
@@ -1353,20 +1357,14 @@ class FastPathEngine:
                     lis: list[int] = []
                     if fstatic or fextra:
                         if f_code_li is None:
-                            f_code_li = dict(
-                                zip(
-                                    (link_src * num_nodes + link_dst).tolist(),
-                                    range(n_links),
-                                )
-                            )
+                            f_code_li = {}
+                            codes = (link_src * num_nodes + link_dst).tolist()
+                            for li, code in enumerate(codes):
+                                f_code_li.setdefault(code, []).append(li)
                         for u, w in sorted(fstatic):
-                            li = f_code_li.get(u * num_nodes + w)
-                            if li is not None:
-                                lis.append(li)
+                            lis.extend(f_code_li.get(u * num_nodes + w, ()))
                         for u, w in fextra:
-                            li = f_code_li.get(u * num_nodes + w)
-                            if li is not None:
-                                lis.append(li)
+                            lis.extend(f_code_li.get(u * num_nodes + w, ()))
                     f_cur = np.asarray(lis, dtype=np.int64)
                     f_flags[f_cur] = True
                     f_last_parts = parts

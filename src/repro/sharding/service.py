@@ -76,7 +76,13 @@ def merge_costs(costs: Sequence[StepCost]) -> StepCost:
 
 
 class ShardedMemory:
-    """Read-only facade presenting the shards' memories as one space."""
+    """Facade presenting the shards' memories as one address space.
+
+    Reads and writes route through the placement hash to the owning
+    shard, so callers that initialize or inspect emulator memory (the
+    replay layer's ``configure_emulator_for``, memory differentials)
+    work unchanged against a shard fleet.
+    """
 
     def __init__(self, service: "ShardedEmulator") -> None:
         self._service = service
@@ -88,6 +94,10 @@ class ShardedMemory:
     def read(self, addr: int):
         svc = self._service
         return svc.shards[svc.placement.shard_of(addr)].memory.read(addr)
+
+    def write(self, addr: int, value) -> None:
+        svc = self._service
+        svc.shards[svc.placement.shard_of(addr)].memory.write(addr, value)
 
     def __len__(self) -> int:
         return self.size

@@ -406,3 +406,62 @@ class TestSymbolicScan:
             if scan.proves_exclusive:
                 c = classify_program(spec)
                 assert c.inferred_mode is AccessMode.EREW, name
+
+
+# ---------------------------------------------------------------------------
+# Application programs (repro.apps)
+# ---------------------------------------------------------------------------
+
+class TestApplicationPrograms:
+    """The apps layer rides the same gates as the core library."""
+
+    def test_registered_apps_classify_exact(self):
+        from repro.apps.programs import APP_PROGRAM_BUILDERS
+
+        for name, build in APP_PROGRAM_BUILDERS.items():
+            c = classify_program(build())
+            assert c.verdict == "exact", (
+                f"{name}: declared {c.declared_mode.name}, "
+                f"inferred {c.inferred_mode.name}"
+            )
+
+    def test_apps_merged_into_library_registry(self):
+        from repro.apps.programs import APP_PROGRAM_BUILDERS
+
+        assert set(APP_PROGRAM_BUILDERS) <= set(ALL_PROGRAM_BUILDERS)
+
+    def test_broken_erew_components_caught_by_sanitizer(self):
+        """A CRCW hooking algorithm misdeclared as EREW is exactly the
+        failure mode the sanitizer exists for: the permissive machine
+        completes the run, then the checker names the concurrent steps."""
+        from repro.apps import broken_erew_components, gnp_graph
+
+        spec = broken_erew_components(gnp_graph(12, 0.25, seed=7))
+        assert spec.mode is AccessMode.EREW
+        pram = PRAM(
+            spec.n_procs,
+            spec.memory_size,
+            mode=spec.mode,
+            write_policy=spec.write_policy,
+            combine_op=spec.combine_op,
+            init=spec.init,
+            enforce_mode=False,
+        )
+        pram.load(spec.program)
+        with pytest.raises(RaceError) as exc:
+            pram.run(check_races=True)
+        assert exc.value.reports
+        assert any(
+            r.kind in (ConflictKind.READ_READ, ConflictKind.WRITE_WRITE)
+            for r in exc.value.reports
+        )
+
+    def test_broken_variant_stays_out_of_registry(self):
+        assert "broken-erew-components" not in ALL_PROGRAM_BUILDERS
+
+    def test_broken_variant_classifies_as_violation(self):
+        from repro.apps import broken_erew_components, gnp_graph
+
+        c = classify_program(broken_erew_components(gnp_graph(12, 0.25, seed=7)))
+        assert c.verdict == "violation"
+        assert not c.ok

@@ -25,6 +25,7 @@ QUICK_ARGS = {
     "online_traffic_demo.py": ["--quick"],
     "fault_injection_demo.py": ["--quick"],
     "race_detection_demo.py": ["--quick"],
+    "pram_applications_demo.py": ["--quick"],
 }
 
 TIMEOUT_S = 180
