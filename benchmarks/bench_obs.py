@@ -1,0 +1,259 @@
+"""Observability overhead benchmark -> BENCH_obs.json.
+
+Measures what `repro.obs` costs the emulation hot path in each of its
+modes, on both networks (square mesh and binary butterfly), over a
+seeded multi-step trace:
+
+* ``disabled`` — ``observer=None``, the default: instrumented code
+  with every hook behind a ``None`` check (the shipping configuration);
+* ``null`` — an explicit :class:`~repro.obs.NullObserver` instance:
+  same no-op semantics through the attribute-dispatch path;
+* ``metrics`` — counters/gauges/histograms only (no tracing, no
+  profiling, no flight recorder);
+* ``full`` — everything on: metrics + spans on both clocks + per-phase
+  engine profiling + the flight-recorder ring.
+
+Two gate families:
+
+* **bit identity** (seed-exact, host-speed-safe) — every configuration
+  produces the identical emulation report; observation never changes
+  the run.  Deterministic service metrics (total network steps, and
+  the observer's own ``pram_steps_total`` / ``network_steps_total``
+  counters) are pinned by the ``--check-baseline`` gate.
+* **overhead** (ratio of medians in one process, so host speed
+  cancels) — the ``null`` configuration must stay within 3 % of
+  ``disabled``: opting out of observability is free.  The measured
+  ``metrics``/``full`` ratios are reported in the artifact for
+  humans but not gated — they are real work by design.
+
+Not collected by pytest (file name is not ``test_*``); run directly:
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --out BENCH_obs.json
+    PYTHONPATH=src python benchmarks/bench_obs.py \
+        --check-baseline BENCH_obs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.emulation import LeveledEmulator, MeshEmulator
+from repro.obs import NullObserver, Observer
+from repro.pram.trace import random_trace
+from repro.topology import DAryButterflyLeveled, Mesh2D
+
+#: opting out of observability must cost < 3 % (null vs disabled)
+NULL_OVERHEAD_GATE = 1.03
+
+#: timing repeats per (scenario, config); medians absorb scheduler noise
+REPEATS = 5
+
+TRACE_STEPS = 12
+
+CONFIGS = {
+    "disabled": lambda: None,
+    "null": lambda: NullObserver(),
+    "metrics": lambda: Observer(
+        metrics=True, tracing=False, profiling=False, flight_recorder=0
+    ),
+    "full": lambda: Observer(),
+}
+
+
+def _scenarios() -> dict:
+    """name -> (emulator builder, processor count)."""
+    return {
+        "mesh-crcw": (
+            lambda observer: MeshEmulator(
+                Mesh2D.square(6), 256, mode="crcw", seed=5, observer=observer
+            ),
+            36,
+        ),
+        "leveled-crcw": (
+            lambda observer: LeveledEmulator(
+                DAryButterflyLeveled(2, 5), 256, mode="crcw", seed=5,
+                observer=observer,
+            ),
+            32,
+        ),
+    }
+
+
+def _time_once(build, n_procs, observer_factory) -> tuple[float, dict]:
+    emu = build(observer_factory())
+    trace = random_trace(n_procs, 256, TRACE_STEPS, seed=21, erew=False)
+    t0 = time.perf_counter()
+    report = emu.emulate_trace(trace)
+    elapsed = time.perf_counter() - t0
+    summary = {
+        "total_steps": report.total_network_steps,
+        "num_steps": report.pram_steps,
+        "rehashes": report.total_rehashes,
+    }
+    obs = emu.observer
+    if obs is not None and obs.metrics is not None:
+        metrics = obs.metrics.snapshot()["metrics"]
+        for name in ("pram_steps_total", "network_steps_total"):
+            series = metrics[name]["series"]
+            summary[name] = sum(s["value"] for s in series)
+    return elapsed, summary
+
+
+def run_suite() -> list[dict]:
+    rows: list[dict] = []
+    for scenario, (build, n_procs) in _scenarios().items():
+        summaries: dict[str, dict] = {}
+        medians: dict[str, float] = {}
+        for config in CONFIGS:
+            times = []
+            for _ in range(REPEATS):
+                elapsed, summary = _time_once(build, n_procs, CONFIGS[config])
+                times.append(elapsed)
+            summaries[config] = summary
+            medians[config] = statistics.median(times)
+        base = medians["disabled"]
+        row = {
+            "scenario": scenario,
+            "trace_steps": TRACE_STEPS,
+            "total_steps": summaries["disabled"]["total_steps"],
+            "pram_steps_total": summaries["metrics"]["pram_steps_total"],
+            "network_steps_total": summaries["metrics"]["network_steps_total"],
+            "median_s": {k: round(v, 6) for k, v in medians.items()},
+            "overhead_ratio": {
+                k: round(medians[k] / base, 4) for k in CONFIGS if k != "disabled"
+            },
+            "summaries_identical": all(
+                s["total_steps"] == summaries["disabled"]["total_steps"]
+                and s["num_steps"] == summaries["disabled"]["num_steps"]
+                and s["rehashes"] == summaries["disabled"]["rehashes"]
+                for s in summaries.values()
+            ),
+        }
+        rows.append(row)
+        print(_render(row))
+    return rows
+
+
+def structural_gates(rows: list[dict]) -> int:
+    """Seed-independent gates; returns the number of failures."""
+    failures = 0
+
+    def check(cond: bool, msg: str) -> None:
+        nonlocal failures
+        print(f"  {'ok' if cond else 'FAIL'}  {msg}")
+        if not cond:
+            failures += 1
+
+    print("\nstructural gates:")
+    for r in rows:
+        key = r["scenario"]
+        check(
+            r["summaries_identical"],
+            f"{key}: every observer config produces the identical report",
+        )
+        check(
+            r["overhead_ratio"]["null"] <= NULL_OVERHEAD_GATE,
+            f"{key}: null-observer overhead < {NULL_OVERHEAD_GATE - 1:.0%} "
+            f"(got {r['overhead_ratio']['null']:.4f}x)",
+        )
+        check(
+            r["pram_steps_total"] == r["trace_steps"],
+            f"{key}: metrics counted every PRAM step "
+            f"({r['pram_steps_total']} == {r['trace_steps']})",
+        )
+        check(
+            r["network_steps_total"] == r["total_steps"],
+            f"{key}: network-step counter matches the report "
+            f"({r['network_steps_total']} == {r['total_steps']})",
+        )
+    return failures
+
+
+def check_baseline(rows: list[dict], baseline: dict) -> int:
+    """Deterministic metrics must match the committed report exactly.
+
+    Wall times and overhead ratios are host-dependent and stay out of
+    the gate; the step counts are exact functions of the committed
+    seeds, so any drift is a semantic change, not noise.
+    """
+    by_key = {r["scenario"]: r for r in baseline.get("scenarios", [])}
+    failures = 0
+    print("\nbaseline check (exact, deterministic metrics only):")
+    for row in rows:
+        base = by_key.get(row["scenario"])
+        if base is None:
+            print(f"  {row['scenario']:16s} not in baseline — skipped")
+            continue
+        for metric in ("total_steps", "pram_steps_total", "network_steps_total"):
+            ok = base[metric] == row[metric]
+            print(
+                f"  {row['scenario']:16s} {metric:22s} "
+                f"{base[metric]:8d} -> {row[metric]:8d} "
+                f"{'ok' if ok else 'REGRESSED'}"
+            )
+            if not ok:
+                failures += 1
+    ran = {r["scenario"] for r in rows}
+    for scenario in sorted(set(by_key) - ran):
+        print(f"  {scenario:16s} in baseline but MISSING")
+        failures += 1
+    return failures
+
+
+def _render(row: dict) -> str:
+    ratios = " ".join(
+        f"{k}={v:.3f}x" for k, v in row["overhead_ratio"].items()
+    )
+    return (
+        f"{row['scenario']:16s} steps={row['total_steps']:<6d} "
+        f"disabled={row['median_s']['disabled'] * 1e3:7.2f}ms  {ratios}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_obs.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        type=Path,
+        default=None,
+        metavar="BASELINE_JSON",
+        help="compare the deterministic step counts against this committed "
+        "report (exact match; wall times are never gated)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check_baseline is not None:
+        baseline = json.loads(args.check_baseline.read_text())
+
+    rows = run_suite()
+    failures = structural_gates(rows)
+    report = {
+        "benchmark": "observability",
+        "note": (
+            "observer overhead by configuration (median of repeats, ratios "
+            "vs observer=None in the same process, so host speed cancels); "
+            "the null-observer gate pins opt-out below 3%; step counts are "
+            "deterministic under the committed seeds, wall times are not"
+        ),
+        "scenarios": rows,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    if baseline is not None:
+        failures += check_baseline(rows, baseline)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,9 +21,13 @@ Public API tour:
 * ``repro.sharding`` — the sharded multi-module memory service:
   two-level hashing, the :class:`~repro.sharding.ShardedEmulator`
   scatter/gather front end, and multi-tenant QoS admission.
+* ``repro.obs`` — the opt-in observability layer: one
+  :class:`~repro.obs.Observer` threads metrics, virtual-clock tracing,
+  engine profiling, and a flight recorder through the whole stack.
 """
 
 from repro.emulation import LeveledEmulator, MeshEmulator, replay_program
+from repro.obs import NullObserver, Observer
 from repro.pram import PRAM, AccessMode, WritePolicy
 from repro.routing import LeveledRouter, MeshRouter, ShuffleRouter, StarRouter
 from repro.sharding import ShardedEmulator
@@ -47,6 +51,8 @@ __all__ = [
     "Mesh2D",
     "MeshEmulator",
     "MeshRouter",
+    "NullObserver",
+    "Observer",
     "OnlineEmulator",
     "PRAM",
     "ShardedEmulator",

@@ -153,7 +153,15 @@ class TraceAnalysis:
 
 
 class RaceError(ConcurrentAccessError):
-    """Raised by the ``check_races`` sanitizer; carries the reports."""
+    """Raised by the ``check_races`` sanitizer; carries the reports.
+
+    When an :class:`~repro.obs.Observer` with a flight recorder was
+    attached to the raising machine, ``flight_tail`` holds the last-K
+    recorded step events leading up to the race (oldest first).
+    """
+
+    #: flight-recorder tail at raise time (see repro.obs.FlightRecorder)
+    flight_tail: tuple = ()
 
     def __init__(self, message: str, reports: Sequence[RaceReport]) -> None:
         super().__init__(message)

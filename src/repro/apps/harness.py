@@ -88,8 +88,16 @@ def build_emulator(
     seed=0,
     n_shards: int = 1,
     faults=None,
+    observer=None,
 ):
-    """A just-big-enough emulator (or shard fleet) for an application."""
+    """A just-big-enough emulator (or shard fleet) for an application.
+
+    ``observer`` (a :class:`repro.obs.Observer`) is threaded through the
+    whole stack — the emulator, its routers and engines, and (for
+    fleets) the scatter/gather front end plus every shard — so one
+    argument lights up metrics, tracing, profiling, and flight data
+    end to end.
+    """
     if network not in NETWORKS:
         raise ValueError(f"unknown network {network!r}; pick from {NETWORKS}")
 
@@ -102,6 +110,7 @@ def build_emulator(
                 seed=shard_seed,
                 engine=engine,
                 faults=faults,
+                observer=observer,
             )
         return MeshEmulator(
             mesh_for(n_procs),
@@ -110,13 +119,16 @@ def build_emulator(
             seed=shard_seed,
             engine=engine,
             faults=faults,
+            observer=observer,
         )
 
     if n_shards == 1:
         return shard(0, seed)
     if faults is not None:
         raise ValueError("pass per-shard faults via a custom factory")
-    return ShardedEmulator(shard, n_shards, address_space, seed=seed)
+    return ShardedEmulator(
+        shard, n_shards, address_space, seed=seed, observer=observer
+    )
 
 
 def run_app(
@@ -129,6 +141,7 @@ def run_app(
     seed=0,
     n_shards: int = 1,
     max_steps: int = 100_000,
+    observer=None,
 ) -> AppRun:
     """Replay *spec* end to end and score it against *expected* labels.
 
@@ -136,6 +149,13 @@ def run_app(
     len(expected))`` — both applications keep their result array there.
     ``emulator_mode`` defaults to the weakest network mode the program's
     declared :class:`AccessMode` permits.
+
+    Passing a :class:`repro.obs.Observer` lights up the whole stack:
+    afterwards ``observer.metrics.snapshot()`` holds the service
+    counters, ``observer.tracer.to_chrome_trace()`` the Perfetto-ready
+    span timeline (native run, every route attempt, rehash episodes,
+    reply phases, verification), and ``observer.profile.to_dict()`` the
+    per-dispatch-mode / per-phase engine wall-time breakdown.
     """
     if emulator_mode is None:
         emulator_mode = "erew" if spec.mode is AccessMode.EREW else "crcw"
@@ -147,6 +167,7 @@ def run_app(
         engine=engine,
         seed=seed,
         n_shards=n_shards,
+        observer=observer,
     )
     result = replay_program(spec, emulator, max_steps=max_steps)
     got = [emulator.memory.read(i) for i in range(len(expected))]

@@ -160,7 +160,15 @@ class Emulator(ABC):
     traces in an inbox, :meth:`step` serves exactly one of them, and
     :meth:`drain` serves the rest — which is what lets a scatter/gather
     front end step N shards independently.
+
+    Concrete emulators may be built with an
+    :class:`~repro.obs.Observer`; the class-level ``observer = None``
+    default keeps old pickles (and observer-less subclasses) loading.
     """
+
+    #: optional repro.obs observer (metrics/tracing/profiling/flight
+    #: recorder); forwarded to routers and engines by the subclasses
+    observer = None
 
     @abstractmethod
     def emulate_step(self, step: StepTrace) -> StepCost:
@@ -234,7 +242,7 @@ class Emulator(ABC):
             log.fault_failfasts += 1
             log.run_modes.append("fault-failfast")
             if log.fault_failfasts > self.max_rehashes + faults.num_modules:
-                raise RehashStormError(
+                err = RehashStormError(
                     "fault detections keep forcing rehashes",
                     rehashes=log.rehashes,
                     stall_steps=log.stall_steps,
@@ -242,6 +250,9 @@ class Emulator(ABC):
                     fault_failfasts=log.fault_failfasts,
                     run_modes=tuple(log.run_modes),
                 )
+                if self.observer is not None:
+                    err.flight_tail = self.observer.flight_tail()
+                raise err
             packets = self._build_request_packets(step)
         return packets
 

@@ -178,6 +178,7 @@ def route_replies_fast(
     budget: int,
     num_nodes: int,
     node_key: Callable[[int, int], object] | None = None,
+    observer=None,
 ):
     """Run the reply fan-out on the compiled fast engine.
 
@@ -264,7 +265,7 @@ def route_replies_fast(
             buckets.setdefault((pr, q), []).append(c)
         spawn_plan = [(pr, q, kids) for (pr, q), kids in buckets.items()]
 
-    fast = FastPathEngine()
+    fast = FastPathEngine(observer=observer)
     stats = fast.run(
         all_replies,
         reply_mat,

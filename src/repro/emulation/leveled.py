@@ -34,6 +34,7 @@ from repro.emulation.combining import (
 )
 from repro.faults import FaultState, RehashStormError
 from repro.hashing.family import HashFamily, degree_for_diameter
+from repro.obs import NULL_OBSERVER
 from repro.pram.memory import SharedMemory
 from repro.pram.trace import StepTrace
 from repro.pram.variants import WritePolicy, resolve_writes
@@ -101,11 +102,15 @@ class LeveledEmulator(Emulator):
         validate: bool = True,
         engine: str = "auto",
         faults=None,
+        observer=None,
     ) -> None:
         if mode not in ("erew", "crcw"):
             raise ValueError(f"unknown mode {mode!r}")
         self.net = net
         self.mode = mode
+        #: repro.obs observer forwarded to every router/engine this
+        #: emulator builds; None stays a no-op (see Emulator.observer)
+        self.observer = observer
         self.engine_mode = engine
         resolve_engine_mode(engine)  # validate eagerly
         self.write_policy = write_policy
@@ -250,8 +255,10 @@ class LeveledEmulator(Emulator):
                 engine=mode,
                 link_faults=self.faults.link_timeline,
                 fault_base=fault_base,
+                observer=self.observer,
             )
 
+        obs = self.observer if self.observer is not None else NULL_OBSERVER
         for attempt in range(self.max_rehashes + 1):
             # Each attempt starts where the previous one gave up: failed
             # steps accumulate into the global fault timeline.
@@ -259,13 +266,21 @@ class LeveledEmulator(Emulator):
             packets = self._prepare_attempt(step, fault_base, log)
             router = make_router(fault_base)
             wedged = False
-            try:
-                stats = router.route_packets(packets, max_steps=allotment)
-            except DeadlockError as exc:
-                # A wedged attempt is just a failed attempt: a rehash
-                # redraws the trajectories.
-                stats = exc.stats
-                wedged = True
+            with obs.span(
+                "route_attempt",
+                category="request",
+                virtual_clock=fault_base,
+                attempt=attempt,
+                requests=len(packets),
+            ) as sp:
+                try:
+                    stats = router.route_packets(packets, max_steps=allotment)
+                except DeadlockError as exc:
+                    # A wedged attempt is just a failed attempt: a rehash
+                    # redraws the trajectories.
+                    stats = exc.stats
+                    wedged = True
+                sp.virtual_end = fault_base + stats.steps
             log.run_modes.append(stats.run_mode)
             log.fault_stalls += stats.fault_stalls
             if stats.completed:
@@ -274,18 +289,40 @@ class LeveledEmulator(Emulator):
             if wedged:
                 log.deadlock_retries += 1
             if attempt < self.max_rehashes:
-                self.rehash()
+                with obs.span(
+                    "rehash",
+                    category="recovery",
+                    virtual_clock=self.virtual_clock + log.stall_steps,
+                    attempt=attempt,
+                    wedged=wedged,
+                ):
+                    self.rehash()
                 log.rehashes += 1
+                obs.count("emulator_rehashes_total", network="leveled")
+                obs.record(
+                    "rehash",
+                    virtual_clock=self.virtual_clock + log.stall_steps,
+                    attempt=attempt,
+                    wedged=wedged,
+                )
         # Last resort: generous budget so the emulation still terminates.
         fault_base = self.virtual_clock + log.stall_steps
         packets = self._prepare_attempt(step, fault_base, log)
         router = make_router(fault_base)
-        stats = router.route_packets(packets, max_steps=400 * L + 1000)
+        with obs.span(
+            "route_attempt",
+            category="request",
+            virtual_clock=fault_base,
+            attempt=self.max_rehashes + 1,
+            last_resort=True,
+        ) as sp:
+            stats = router.route_packets(packets, max_steps=400 * L + 1000)
+            sp.virtual_end = fault_base + stats.steps
         log.run_modes.append(stats.run_mode)
         log.fault_stalls += stats.fault_stalls
         if not stats.completed:
             if self.faults.schedule:
-                raise RehashStormError(
+                err = RehashStormError(
                     "request routing failed even after rehashes "
                     "(fault schedule active)",
                     rehashes=log.rehashes,
@@ -294,6 +331,8 @@ class LeveledEmulator(Emulator):
                     fault_failfasts=log.fault_failfasts,
                     run_modes=tuple(log.run_modes),
                 )
+                err.flight_tail = obs.flight_tail()
+                raise err
             raise RuntimeError("request routing failed even after rehashes")
         return router, packets, stats, log
 
@@ -329,22 +368,32 @@ class LeveledEmulator(Emulator):
         reply_steps = 0
         max_queue = req_stats.max_queue
         credits_stalled = req_stats.credits_stalled
+        obs = self.observer if self.observer is not None else NULL_OBSERVER
         if read_hosts:
             L = self.net.num_levels
             budget = int(self.rehash_factor * 4 * L) + 1000
-            if mode == "fast" and router.last_fast_paths is not None:
-                reply_stats, spawner, replies = self._route_replies_fast(
-                    read_hosts, values, packets, router.last_fast_paths, budget
-                )
-            else:
-                replies = build_replies(read_hosts, values)
-                spawner = ReplySpawner()
-                engine = SynchronousEngine()
-                reply_stats = engine.run(
-                    replies,
-                    reply_next_hop,
-                    max_steps=budget,
-                    on_arrival=spawner,
+            with obs.span(
+                "reply_phase",
+                category="reply",
+                virtual_clock=self.virtual_clock + req_stats.steps,
+                replies=len(read_hosts),
+            ) as sp:
+                if mode == "fast" and router.last_fast_paths is not None:
+                    reply_stats, spawner, replies = self._route_replies_fast(
+                        read_hosts, values, packets, router.last_fast_paths, budget
+                    )
+                else:
+                    replies = build_replies(read_hosts, values)
+                    spawner = ReplySpawner()
+                    engine = SynchronousEngine(observer=self.observer)
+                    reply_stats = engine.run(
+                        replies,
+                        reply_next_hop,
+                        max_steps=budget,
+                        on_arrival=spawner,
+                    )
+                sp.virtual_end = (
+                    self.virtual_clock + req_stats.steps + reply_stats.steps
                 )
             if not reply_stats.completed:
                 raise RuntimeError("reply routing did not complete")
@@ -369,6 +418,9 @@ class LeveledEmulator(Emulator):
             run_modes=tuple(run_modes),
         )
         self.virtual_clock += cost.total_steps + cost.stall_steps
+        obs.count("pram_steps_total", network="leveled")
+        obs.count("network_steps_total", cost.total_steps, network="leveled")
+        obs.observe("step_total_steps", cost.total_steps, network="leveled")
         return cost
 
     def _route_replies_fast(self, hosts, values, packets, int_paths, budget: int):
@@ -382,6 +434,7 @@ class LeveledEmulator(Emulator):
             budget=budget,
             num_nodes=compiled.num_node_ids,
             node_key=compiled.reply_key,
+            observer=self.observer,
         )
 
     def _check_replies(self, step, packets, spawner, root_replies) -> None:

@@ -39,6 +39,7 @@ from repro.emulation.combining import (
 )
 from repro.faults import FaultState, RehashStormError
 from repro.hashing.family import HashFamily, degree_for_diameter
+from repro.obs import NULL_OBSERVER
 from repro.pram.memory import SharedMemory
 from repro.pram.trace import StepTrace
 from repro.pram.variants import WritePolicy, resolve_writes
@@ -107,6 +108,7 @@ class MeshEmulator(Emulator):
         validate: bool = True,
         engine: str = "auto",
         faults=None,
+        observer=None,
     ) -> None:
         if mode not in ("erew", "crcw"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -114,6 +116,9 @@ class MeshEmulator(Emulator):
             raise ValueError(f"unknown placement {placement!r}")
         self.mesh = mesh
         self.mode = mode
+        #: repro.obs observer forwarded to every router/engine this
+        #: emulator builds; None stays a no-op (see Emulator.observer)
+        self.observer = observer
         self.engine_mode = engine
         resolve_engine_mode(engine)  # validate eagerly
         self.write_policy = write_policy
@@ -190,6 +195,7 @@ class MeshEmulator(Emulator):
             engine=engine_mode,
             link_faults=self.faults.link_timeline,
             fault_base=fault_base,
+            observer=self.observer,
         )
 
     # ------------------------------------------------------------------
@@ -248,6 +254,7 @@ class MeshEmulator(Emulator):
         allotment = max(int(self.rehash_factor * n), n + 4)
         log = AttemptLog()
         hashed = self.placement == "hash"
+        obs = self.observer if self.observer is not None else NULL_OBSERVER
         for _attempt in range(self.max_rehashes + 1):
             # Each attempt starts where the previous one gave up: failed
             # steps accumulate into the global fault timeline.  Direct
@@ -259,15 +266,23 @@ class MeshEmulator(Emulator):
             )
             router = self._make_router(engine_mode, fault_base)
             wedged = False
-            try:
-                stats = router.route(
-                    None, None, max_steps=allotment, packets=packets
-                )
-            except DeadlockError as exc:
-                # A wedged attempt is just a failed attempt: a rehash
-                # (and fresh stage-1 rows) redraws the trajectories.
-                stats = exc.stats
-                wedged = True
+            with obs.span(
+                "route_attempt",
+                category="request",
+                virtual_clock=fault_base,
+                attempt=_attempt,
+                requests=len(packets),
+            ) as sp:
+                try:
+                    stats = router.route(
+                        None, None, max_steps=allotment, packets=packets
+                    )
+                except DeadlockError as exc:
+                    # A wedged attempt is just a failed attempt: a rehash
+                    # (and fresh stage-1 rows) redraws the trajectories.
+                    stats = exc.stats
+                    wedged = True
+                sp.virtual_end = fault_base + stats.steps
             log.run_modes.append(stats.run_mode)
             log.fault_stalls += stats.fault_stalls
             if stats.completed:
@@ -279,15 +294,31 @@ class MeshEmulator(Emulator):
                 break  # rehashing cannot help direct placement
             self.rehash()
             log.rehashes += 1
+            obs.count("emulator_rehashes_total", network="mesh")
+            obs.record(
+                "rehash",
+                virtual_clock=self.virtual_clock + log.stall_steps,
+                attempt=_attempt,
+                wedged=wedged,
+            )
         fault_base = self.virtual_clock + log.stall_steps
         packets = self._prepare_attempt(step, fault_base, log, rehash=hashed)
         router = self._make_router(engine_mode, fault_base)
-        stats = router.route(None, None, max_steps=500 * n + 2000, packets=packets)
+        with obs.span(
+            "route_attempt",
+            category="request",
+            virtual_clock=fault_base,
+            last_resort=True,
+        ) as sp:
+            stats = router.route(
+                None, None, max_steps=500 * n + 2000, packets=packets
+            )
+            sp.virtual_end = fault_base + stats.steps
         log.run_modes.append(stats.run_mode)
         log.fault_stalls += stats.fault_stalls
         if not stats.completed:
             if self.faults.schedule:
-                raise RehashStormError(
+                err = RehashStormError(
                     "mesh request routing failed after rehashes "
                     "(fault schedule active)",
                     rehashes=log.rehashes,
@@ -296,6 +327,8 @@ class MeshEmulator(Emulator):
                     fault_failfasts=log.fault_failfasts,
                     run_modes=tuple(log.run_modes),
                 )
+                err.flight_tail = obs.flight_tail()
+                raise err
             raise RuntimeError("mesh request routing failed after rehashes")
         return router, packets, stats, log
 
@@ -327,38 +360,54 @@ class MeshEmulator(Emulator):
         reply_steps = 0
         max_queue = req_stats.max_queue
         credits_stalled = req_stats.credits_stalled
+        obs = self.observer if self.observer is not None else NULL_OBSERVER
         if read_hosts:
-            if self.mode == "crcw":
-                # Both engines intentionally run the CRCW reverse-path
-                # fan-out *unconstrained*: the reference phase below uses
-                # a bare SynchronousEngine() and the fast phase a bare
-                # FastPathEngine(), so node_capacity applies to request
-                # routing only.  If capacity is ever added to one reply
-                # phase it must be added to both (and the differential
-                # tests extended), or the bit-for-bit contract breaks.
-                if engine_mode == "fast" and router.last_fast_paths is not None:
-                    n = self.mesh.rows + self.mesh.cols
-                    reply_stats, _spawner, _replies = route_replies_fast(
-                        read_hosts,
-                        values,
-                        packets,
-                        router.last_fast_paths,
-                        budget=500 * n + 2000,
-                        num_nodes=self.mesh.num_nodes,
-                    )
-                    if not reply_stats.completed:
-                        raise RuntimeError(
-                            "mesh reverse-path replies did not complete"
+            with obs.span(
+                "reply_phase",
+                category="reply",
+                virtual_clock=self.virtual_clock + req_stats.steps,
+                replies=len(read_hosts),
+            ) as sp:
+                if self.mode == "crcw":
+                    # Both engines intentionally run the CRCW reverse-path
+                    # fan-out *unconstrained*: the reference phase below
+                    # uses a bare SynchronousEngine() and the fast phase a
+                    # bare FastPathEngine(), so node_capacity applies to
+                    # request routing only.  If capacity is ever added to
+                    # one reply phase it must be added to both (and the
+                    # differential tests extended), or the bit-for-bit
+                    # contract breaks.
+                    if engine_mode == "fast" and router.last_fast_paths is not None:
+                        n = self.mesh.rows + self.mesh.cols
+                        reply_stats, _spawner, _replies = route_replies_fast(
+                            read_hosts,
+                            values,
+                            packets,
+                            router.last_fast_paths,
+                            budget=500 * n + 2000,
+                            num_nodes=self.mesh.num_nodes,
+                            observer=self.observer,
+                        )
+                        if not reply_stats.completed:
+                            raise RuntimeError(
+                                "mesh reverse-path replies did not complete"
+                            )
+                    else:
+                        reply_stats = self._replies_reverse_path(
+                            read_hosts, values
                         )
                 else:
-                    reply_stats = self._replies_reverse_path(read_hosts, values)
-            else:
-                reply_stats = self._replies_fresh_route(
-                    read_hosts,
-                    values,
-                    engine_mode,
-                    fault_base=self.virtual_clock + log.stall_steps + req_stats.steps,
-                    log=log,
+                    reply_stats = self._replies_fresh_route(
+                        read_hosts,
+                        values,
+                        engine_mode,
+                        fault_base=(
+                            self.virtual_clock + log.stall_steps + req_stats.steps
+                        ),
+                        log=log,
+                    )
+                sp.virtual_end = (
+                    self.virtual_clock + req_stats.steps + reply_stats.steps
                 )
             reply_steps = reply_stats.steps
             max_queue = max(max_queue, reply_stats.max_queue)
@@ -380,6 +429,9 @@ class MeshEmulator(Emulator):
             run_modes=tuple(run_modes),
         )
         self.virtual_clock += cost.total_steps + cost.stall_steps
+        obs.count("pram_steps_total", network="mesh")
+        obs.count("network_steps_total", cost.total_steps, network="mesh")
+        obs.observe("step_total_steps", cost.total_steps, network="mesh")
         return cost
 
     def _replies_fresh_route(
@@ -421,7 +473,7 @@ class MeshEmulator(Emulator):
                 log.run_modes.append(stats.run_mode)
         if not stats.completed:
             if self.faults.schedule:
-                raise RehashStormError(
+                err = RehashStormError(
                     "mesh reply routing failed after retries "
                     "(fault schedule active)",
                     rehashes=log.rehashes if log is not None else 0,
@@ -434,6 +486,9 @@ class MeshEmulator(Emulator):
                     ),
                     run_modes=tuple(log.run_modes) if log is not None else (),
                 )
+                if self.observer is not None:
+                    err.flight_tail = self.observer.flight_tail()
+                raise err
             raise RuntimeError("mesh reply routing did not complete")
         if self.validate and stats.delivered != len(read_hosts):
             raise AssertionError("lost replies in mesh emulation")
@@ -443,7 +498,7 @@ class MeshEmulator(Emulator):
         """CRCW replies: reverse the request paths, splitting at merges."""
         replies = build_replies(read_hosts, values)
         spawner = ReplySpawner()
-        engine = SynchronousEngine()
+        engine = SynchronousEngine(observer=self.observer)
         n = self.mesh.rows + self.mesh.cols
         stats = engine.run(
             replies,

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.emulation.base import EmulationReport, Emulator
+from repro.obs import NULL_OBSERVER
 from repro.pram.machine import PRAM
 from repro.pram.programs import ProgramSpec
 from repro.pram.variants import AccessMode
@@ -80,15 +81,28 @@ def replay_program(
             f"{emulator.memory.size}"
         )
 
-    pram = spec.run(max_steps=max_steps)  # native reference (also verifies)
+    obs = getattr(emulator, "observer", None)
+    if obs is None:
+        obs = NULL_OBSERVER
+    with obs.span("native_run", category="app", program=spec.name):
+        pram = spec.run(max_steps=max_steps)  # native reference (also verifies)
     configure_emulator_for(spec, emulator)
-    report = emulator.emulate_trace(pram.trace)
+    with obs.span(
+        "emulate_trace",
+        category="app",
+        virtual_clock=getattr(emulator, "virtual_clock", None),
+        program=spec.name,
+        pram_steps=len(pram.trace.steps),
+    ) as sp:
+        report = emulator.emulate_trace(pram.trace)
+        sp.virtual_end = getattr(emulator, "virtual_clock", None)
 
-    matches = True
-    for addr in range(spec.memory_size):
-        if emulator.memory.read(addr) != pram.memory.read(addr):
-            matches = False
-            break
+    with obs.span("verify_memory", category="app", program=spec.name):
+        matches = True
+        for addr in range(spec.memory_size):
+            if emulator.memory.read(addr) != pram.memory.read(addr):
+                matches = False
+                break
     return ReplayResult(
         report=report,
         pram=pram,

@@ -55,7 +55,14 @@ class RehashStormError(RuntimeError):
     budget.  Carries enough diagnostics for a service loop
     (:class:`~repro.traffic.OnlineEmulator`) to charge the wasted
     steps, count the storm, and retry or dead-letter the batch.
+
+    When an :class:`~repro.obs.Observer` with a flight recorder was
+    attached to the raising emulator, ``flight_tail`` holds the last-K
+    recorded step events leading up to the storm (oldest first).
     """
+
+    #: flight-recorder tail at raise time (see repro.obs.FlightRecorder)
+    flight_tail: tuple = ()
 
     def __init__(
         self,

@@ -1,0 +1,33 @@
+"""The deterministic core's single wall-clock portal.
+
+Everything under ``src/repro`` is a pure function of (inputs, seed)
+advancing a *virtual* clock; the REPRO002 lint rule bans wall-clock
+reads there so nondeterminism cannot leak into routing decisions.
+Observability is the one legitimate consumer of real time — profiling
+and tracing must measure it — so this module is the single, lint-exempt
+portal: :func:`wall_time` wraps ``time.perf_counter`` and every
+``src/repro`` module that needs a wall-clock timestamp imports it from
+here.  The exemption is scoped to this file alone (see
+``tools/lint/rules/wall_clock.py``), so a raw ``time.time()`` anywhere
+else in the core still fails the lint.
+
+The invariant that keeps observability safe: wall-clock values are
+*recorded, never acted on*.  No branch in engine or emulator code may
+depend on a value returned by :func:`wall_time`; that is what keeps
+runs bit-identical with and without an observer attached.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_time"]
+
+
+def wall_time() -> float:
+    """Seconds on a monotonic high-resolution clock.
+
+    ``time.perf_counter`` semantics: the absolute origin is arbitrary,
+    only differences are meaningful.
+    """
+    return time.perf_counter()

@@ -1,0 +1,61 @@
+"""Versioned report envelopes: one schema helper for every ``to_dict``.
+
+The repo's JSON-facing reports (the traffic report, its degraded-mode
+fault slice, the per-tenant sharding slice, metric snapshots, engine
+profiles) historically each invented their own dict layout, which is
+how telemetry drifts.  This module is the single convention:
+
+* :data:`SCHEMA_VERSION` — one integer for the whole repo's report
+  schemas, bumped on any breaking layout change;
+* :func:`versioned` — wraps a payload with a ``"schema"`` envelope
+  (``{"version": ..., "kind": ...}``) identifying what the dict is;
+* :func:`stable_json` — canonical serialization (sorted keys, compact
+  separators) so byte-identical reports mean identical content, the
+  property the cross-engine round-trip tests pin.
+
+Reports keep their existing flat keys — benchmark baselines and CI
+gates read them — and *add* the envelope plus grouped section views,
+so consumers can migrate to ``report["faults"]`` /
+``report["tenants"]`` without a flag day.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["SCHEMA_VERSION", "schema_of", "stable_json", "versioned"]
+
+#: single version number shared by every report kind in the repo
+SCHEMA_VERSION = 1
+
+
+def versioned(kind: str, payload: dict) -> dict:
+    """Return *payload* with the standard schema envelope prepended.
+
+    The envelope occupies the reserved ``"schema"`` key; *payload* must
+    not already use it.
+    """
+    if "schema" in payload:
+        raise ValueError(f"payload for kind {kind!r} already has a 'schema' key")
+    out: dict = {"schema": {"version": SCHEMA_VERSION, "kind": kind}}
+    out.update(payload)
+    return out
+
+
+def schema_of(report: dict) -> tuple[int, str] | None:
+    """The ``(version, kind)`` of an enveloped report, else ``None``."""
+    env = report.get("schema")
+    if not isinstance(env, dict):
+        return None
+    return env.get("version"), env.get("kind")
+
+
+def stable_json(obj) -> str:
+    """Canonical JSON: sorted keys, compact separators, no NaN drama.
+
+    ``allow_nan=True`` (the default) is kept deliberately: sojourn
+    percentiles of empty windows are ``nan`` and the benchmarks already
+    serialize them; canonicalization here is about *ordering*, so equal
+    content always produces equal bytes.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))

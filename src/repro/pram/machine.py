@@ -67,10 +67,14 @@ class PRAM:
         init: Mapping[int, object] | Iterable | None = None,
         record_trace: bool = True,
         enforce_mode: bool = True,
+        observer=None,
     ) -> None:
         if n_procs < 1:
             raise ValueError("need at least one processor")
         self.n_procs = n_procs
+        #: optional repro.obs observer: feeds the flight recorder per
+        #: step and rides its tail on RaceError diagnostics
+        self.observer = observer
         self.mode = mode
         self.write_policy = write_policy
         self.combine_op = combine_op
@@ -153,6 +157,15 @@ class PRAM:
         if self.record_trace:
             self.trace.steps.append(StepTrace(reads=reads, writes=writes))
         self.steps_executed += 1
+        obs = self.observer
+        if obs is not None and obs.recorder is not None:
+            obs.record(
+                "pram_step",
+                virtual_clock=self.steps_executed - 1,
+                reads=len(reads),
+                writes=len(writes),
+                live=self.live_processors,
+            )
 
         # 4. resume every live processor with its result, collect next req
         for pid, gen in enumerate(self._procs):
@@ -214,11 +227,14 @@ class PRAM:
             target = check_races if isinstance(check_races, AccessMode) else self.mode
             violations = find_violations(reports, target, self.write_policy)
             if violations:
-                raise RaceError(
+                err = RaceError(
                     f"{len(violations)} access-mode violation(s) under "
                     f"{target.name}; first: {violations[0].describe()}",
                     violations,
                 )
+                if self.observer is not None:
+                    err.flight_tail = self.observer.flight_tail()
+                raise err
         return self.trace
 
     # ------------------------------------------------------------------

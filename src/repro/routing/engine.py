@@ -72,6 +72,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Hashable, Iterable, Optional, Sequence
 
+from repro.obs.clock import wall_time
 from repro.routing.flow_control import (
     CreditState,
     DeadlockError,
@@ -128,6 +129,16 @@ class SynchronousEngine:
     track_paths:
         Record every visited node key in ``packet.trace`` (needed to fan
         replies back along combining trees).
+    observer:
+        Optional :class:`repro.obs.Observer`.  When it carries a
+        :class:`~repro.obs.PhaseProfile`, the step loop accumulates
+        per-phase wall time (transmission / arrival / escape /
+        combining) and each run is attributed to the ``"reference"``
+        dispatch mode; when it carries a flight recorder, per-step
+        events are recorded and a :class:`DeadlockError` leaves with
+        the recorder's tail attached.  Wall-clock values are recorded,
+        never branched on, so routing results are bit-identical with
+        and without an observer.
     """
 
     def __init__(
@@ -141,6 +152,7 @@ class SynchronousEngine:
         exit_dest: Callable[[Packet], Hashable] | None = None,
         capacity_key: Callable[[Hashable], Hashable] | None = None,
         track_paths: bool = False,
+        observer=None,
     ) -> None:
         self.queue_factory = queue_factory
         self.combine = combine
@@ -154,6 +166,7 @@ class SynchronousEngine:
         self.exit_dest = exit_dest
         self.capacity_key = capacity_key
         self.track_paths = track_paths
+        self.observer = observer
 
     # ------------------------------------------------------------------
     def run(
@@ -195,6 +208,11 @@ class SynchronousEngine:
         # turns the claim into an occupancy (or drops it on delivery).
         pending_escape: dict[Packet, tuple[Hashable, Hashable]] = {}
 
+        obs = self.observer
+        prof = obs.profile if obs is not None else None
+        rec = obs.recorder if obs is not None else None
+        _t_run0 = wall_time() if prof is not None else 0.0
+
         max_queue = 0
         max_node_load = 0
         combines = 0
@@ -217,11 +235,16 @@ class SynchronousEngine:
             if self.combine:
                 ckey = p.combine_key
                 if ckey is not None:
+                    _c0 = wall_time() if prof is not None else 0.0
                     host = q.find_combinable(ckey)
                     if host is not None:
                         host.absorb(p)
                         combines += 1
+                        if prof is not None:
+                            prof.add_phase("combining", wall_time() - _c0)
                         return
+                    if prof is not None:
+                        prof.add_phase("combining", wall_time() - _c0)
             q.push(p)
             active[key] = None
             node_load[u] += 1
@@ -301,6 +324,8 @@ class SynchronousEngine:
                 fstatic, fextra = link_faults.parts_at(fault_base + t)
                 blocked = fstatic.union(fextra) if fextra else fstatic
             fault_blocked_step = False
+            _tx0 = wall_time() if prof is not None else 0.0
+            _esc_dt = 0.0
             if capacity is None and self.node_service_rate is None:
                 # Unconstrained hot loop: no capacity bookkeeping at all.
                 for key in active:
@@ -357,6 +382,7 @@ class SynchronousEngine:
                     # Escape subphase: occupants advance first (absolute
                     # priority on their next link), in occupancy order.
                     # `used` then blocks the bulk heads of those links.
+                    _esc0 = wall_time() if prof is not None else 0.0
                     used: set[tuple[Hashable, Hashable]] = set()
                     for el in list(fc.escape_at):
                         p = fc.escape_at[el]
@@ -384,6 +410,9 @@ class SynchronousEngine:
                         p.node = w
                         p.hops += 1
                         arrivals.append(p)
+                    if prof is not None:
+                        _esc_dt = wall_time() - _esc0
+                        prof.add_phase("escape", _esc_dt)
                     # Bulk subphase: credit-starved heads take the escape
                     # buffer of the link they cross instead of stalling.
                     for key in active:
@@ -435,6 +464,17 @@ class SynchronousEngine:
                             slots -= 1
             for key in newly_empty:
                 active.pop(key, None)
+            if prof is not None:
+                prof.add_phase("transmission", wall_time() - _tx0 - _esc_dt)
+            if rec is not None:
+                rec.record(
+                    "engine_step",
+                    virtual_clock=t,
+                    arrivals=len(arrivals),
+                    active_links=len(active),
+                    remaining=remaining,
+                    fault_stalls=fault_stalls,
+                )
 
             if not arrivals and not pending_times and not fault_blocked_step:
                 # No transmission, no future injections, and no link held
@@ -446,8 +486,19 @@ class SynchronousEngine:
                 break
 
             t += 1
-            for p in arrivals:
-                place(p, t)
+            if prof is not None:
+                _a0 = wall_time()
+                _c_before = prof.phase_total("combining")
+                for p in arrivals:
+                    place(p, t)
+                prof.add_phase(
+                    "arrival",
+                    (wall_time() - _a0)
+                    - (prof.phase_total("combining") - _c_before),
+                )
+            else:
+                for p in arrivals:
+                    place(p, t)
 
         completed = remaining == 0
         stats = collect_stats(
@@ -462,10 +513,15 @@ class SynchronousEngine:
             fault_stalls=fault_stalls,
             run_mode="reference",
         )
+        if prof is not None:
+            prof.add_mode("reference", wall_time() - _t_run0)
         if deadlocked:
-            raise DeadlockError(
+            err = DeadlockError(
                 stats, detail=no_progress_detail(t, remaining, len(active), fc)
             )
+            if obs is not None:
+                err.flight_tail = obs.flight_tail()
+            raise err
         if not completed and raise_on_timeout:
             raise RoutingTimeout(stats)
         return stats

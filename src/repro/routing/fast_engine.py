@@ -74,6 +74,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs.clock import wall_time
 from repro.routing.engine import RoutingTimeout
 from repro.routing.flow_control import (
     CreditState,
@@ -154,6 +155,7 @@ class FastPathEngine:
         node_capacity: int | None = None,
         node_service_rate: int | None = None,
         flow_control: str = "none",
+        observer=None,
     ) -> None:
         self.combine = combine
         self.track_paths = track_paths
@@ -164,6 +166,11 @@ class FastPathEngine:
             node_capacity=node_capacity,
             node_service_rate=node_service_rate,
         )
+        #: optional repro.obs.Observer — profile buckets per dispatch
+        #: mode / phase, flight-recorder step events, DeadlockError
+        #: tails.  Wall-clock values are recorded, never branched on,
+        #: so results stay bit-identical with and without an observer.
+        self.observer = observer
         #: execution mode of the most recent run() — see class docstring
         self.last_run_mode: str | None = None
 
@@ -240,6 +247,10 @@ class FastPathEngine:
         combine = self.combine
         capacity = self.node_capacity
         service_rate = self.node_service_rate
+        _obs = self.observer
+        _prof = _obs.profile if _obs is not None else None
+        _rec = _obs.recorder if _obs is not None else None
+        _t_run0 = wall_time() if _prof is not None else 0.0
         fc = CreditState() if self.flow_control == "credit" else None
         # Packet index -> escape link claimed at transmit time; place()
         # turns the claim into an occupancy (or drops it on delivery).
@@ -310,21 +321,27 @@ class FastPathEngine:
         ):
             if path_arr is None:
                 path_arr = np.asarray(path_list, dtype=np.int64)
-            return self._run_batch(
-                all_packets,
-                path_arr,
-                np.asarray(last, dtype=np.int64),
-                priorities,
-                links=links,
-                spawn_plan=spawn_plan,
-                num_nodes=num_nodes,
-                max_steps=max_steps,
-                raise_on_timeout=raise_on_timeout,
-                node_key=node_key,
-                trace_key=trace_key,
-                link_faults=link_faults,
-                fault_base=fault_base,
-            )
+            try:
+                return self._run_batch(
+                    all_packets,
+                    path_arr,
+                    np.asarray(last, dtype=np.int64),
+                    priorities,
+                    links=links,
+                    spawn_plan=spawn_plan,
+                    num_nodes=num_nodes,
+                    max_steps=max_steps,
+                    raise_on_timeout=raise_on_timeout,
+                    node_key=node_key,
+                    trace_key=trace_key,
+                    link_faults=link_faults,
+                    fault_base=fault_base,
+                )
+            finally:
+                if _prof is not None:
+                    _prof.add_mode(
+                        self.last_run_mode or "batch", wall_time() - _t_run0
+                    )
         if spawn_plan is not None:
             raise ValueError(
                 "spawn_plan requires the vectorized batch mode (rectangular "
@@ -674,6 +691,8 @@ class FastPathEngine:
                 arrivals.clear()
                 reserved.clear()
                 used.clear()
+            _tx0 = wall_time() if _prof is not None else 0.0
+            _esc_dt = 0.0
             if simple and not use_heap:
                 for li in active:
                     if f_blocked_li is not None and li in f_blocked_li:
@@ -718,6 +737,7 @@ class FastPathEngine:
                     # `used` then blocks the bulk heads of those links.
                     # Mirrors the reference engine statement for
                     # statement — same orders, same counters.
+                    _esc0 = wall_time() if _prof is not None else 0.0
                     for el in list(fc.escape_at):
                         i = fc.escape_at[el]
                         nl = fc.escape_next[el]
@@ -742,6 +762,9 @@ class FastPathEngine:
                         fc.vacate(el)
                         pos[i] += 1
                         arrivals_append(i)
+                    if _prof is not None:
+                        _esc_dt = wall_time() - _esc0
+                        _prof.add_phase("escape", _esc_dt)
                     # Bulk subphase: credit-starved heads take the
                     # escape buffer of the link they cross.
                     for li in active:
@@ -789,6 +812,17 @@ class FastPathEngine:
                             transmit(li)
                             slots -= 1
             active = [li for li in active if q_len[li]]
+            if _prof is not None:
+                _prof.add_phase("transmission", wall_time() - _tx0 - _esc_dt)
+            if _rec is not None:
+                _rec.record(
+                    "engine_step",
+                    virtual_clock=t,
+                    arrivals=len(arrivals),
+                    active_links=len(active),
+                    remaining=remaining,
+                    fault_stalls=fault_stalls,
+                )
 
             if not arrivals and not pending_times and not fault_blocked_step:
                 # No transmission, no future injections, and nothing held
@@ -798,6 +832,7 @@ class FastPathEngine:
                 break
 
             t += 1
+            _a0 = wall_time() if _prof is not None else 0.0
             if on_arrival is not None or fc is not None:
                 for i in arrivals:
                     place(i, t)
@@ -887,7 +922,11 @@ class FastPathEngine:
                         max_queue = length
                     if load > max_node_load:
                         max_node_load = load
+            if _prof is not None:
+                _prof.add_phase("arrival", wall_time() - _a0)
 
+        if _prof is not None:
+            _prof.add_mode("event", wall_time() - _t_run0)
         completed = remaining == 0
         track = self.track_paths
         tkey = trace_key if trace_key is not None else node_key
@@ -918,9 +957,12 @@ class FastPathEngine:
             run_mode="event",
         )
         if deadlocked:
-            raise DeadlockError(
+            err = DeadlockError(
                 stats, detail=no_progress_detail(t, remaining, len(active), fc)
             )
+            if _obs is not None:
+                err.flight_tail = _obs.flight_tail()
+            raise err
         if not completed and raise_on_timeout:
             raise RoutingTimeout(stats)
         return stats
@@ -990,6 +1032,9 @@ class FastPathEngine:
         """
         n, width = path_arr.shape
         capacity = self.node_capacity
+        _obs = self.observer
+        _prof = _obs.profile if _obs is not None else None
+        _rec = _obs.recorder if _obs is not None else None
         fc = CreditState() if self.flow_control == "credit" else None
         self.last_run_mode = "batch" if capacity is None else "batch-constrained"
         link_dst: np.ndarray | None = None
@@ -1230,6 +1275,7 @@ class FastPathEngine:
                 # promotes its first member to host — exactly the
                 # reference engine's arrival-by-arrival semantics, since
                 # a code never holds two residents.
+                _c0 = wall_time() if _prof is not None else 0.0
                 vc = vc_mat[batch, k]
                 order0 = np.argsort(
                     vc * np.int64(vc.size) + np.arange(vc.size, dtype=np.int64)
@@ -1258,7 +1304,11 @@ class FastPathEngine:
                     batch = batch[keep]
                     k = k[keep]
                     if not batch.size:
+                        if _prof is not None:
+                            _prof.add_phase("combining", wall_time() - _c0)
                         return
+                if _prof is not None:
+                    _prof.add_phase("combining", wall_time() - _c0)
             li = link_mat[batch, k]
             if cls_mat is not None:
                 cls = cls_mat[batch, k]
@@ -1328,6 +1378,21 @@ class FastPathEngine:
                     first_at[idle_links] = n_links_sentinel
                 active = np.concatenate([active, newly])
 
+        if _prof is not None:
+            # Arrival-phase timing wraps admit(); combining time booked
+            # inside it is subtracted so the phase buckets stay disjoint.
+            _admit_raw = admit
+
+            def admit(batch: np.ndarray, t: int):
+                _a0 = wall_time()
+                _c_before = _prof.phase_total("combining")
+                _admit_raw(batch, t)
+                _prof.add_phase(
+                    "arrival",
+                    (wall_time() - _a0)
+                    - (_prof.phase_total("combining") - _c_before),
+                )
+
         t = 0
         while remaining > 0:
             while pending_times and pending_times[-1] <= t:
@@ -1370,6 +1435,8 @@ class FastPathEngine:
                     f_last_parts = parts
                 f_any = f_cur.size > 0
 
+            _tx0 = wall_time() if _prof is not None else 0.0
+            _esc_dt = 0.0
             # Transmission: every active link pops the head of its
             # highest nonempty class (lazy walk-down of stale maxima;
             # the loop narrows to the still-stale subset, so total work
@@ -1447,6 +1514,7 @@ class FastPathEngine:
                     # loads once instead of per-occupant scalar reads.
                     # CreditState's dict ops are inlined: this loop runs
                     # once per occupant per step.
+                    _esc0 = wall_time() if _prof is not None else 0.0
                     esc_at = fc.escape_at
                     esc_next = fc.escape_next
                     stalls = 0
@@ -1480,6 +1548,9 @@ class FastPathEngine:
                     fc.escape_hops += ehops
                     if esc_arrivals:
                         pos[np.asarray(esc_arrivals, dtype=np.int64)] += 1
+                    if _prof is not None:
+                        _esc_dt = wall_time() - _esc0
+                        _prof.add_phase("escape", _esc_dt)
                 # Bulk subphase, vectorized: a link is **sure** to
                 # transmit when its head exits at the target (capacity
                 # exemption) or when the target has room for every
@@ -1644,14 +1715,39 @@ class FastPathEngine:
                     # held back by a (possibly transient) fault: the
                     # state is provably static forever.  Report instead
                     # of spinning (the reference engine's detector).
+                    if _prof is not None:
+                        _prof.add_phase(
+                            "transmission", wall_time() - _tx0 - _esc_dt
+                        )
+                    if _rec is not None:
+                        _rec.record(
+                            "engine_step",
+                            virtual_clock=t,
+                            arrivals=0,
+                            active_links=int(active.size),
+                            remaining=remaining,
+                            fault_stalls=fault_stalls,
+                        )
                     deadlocked = True
                     break
 
+            if _prof is not None:
+                _prof.add_phase("transmission", wall_time() - _tx0 - _esc_dt)
+            if _rec is not None:
+                _rec.record(
+                    "engine_step",
+                    virtual_clock=t,
+                    arrivals=int(arrivals.size),
+                    active_links=int(active.size),
+                    remaining=remaining,
+                    fault_stalls=fault_stalls,
+                )
             t += 1
             if capacity is not None and pending_escape:
                 # Escape landings occupy their buffer instead of
                 # enqueueing; occupancy order is arrival order, exactly
                 # the reference engine's place() order.
+                _el0 = wall_time() if _prof is not None else 0.0
                 pe = list(pending_escape)
                 pend_flag[pe] = True
                 pmask = pend_flag[arrivals]
@@ -1666,6 +1762,8 @@ class FastPathEngine:
                     esc_at[el] = i
                     esc_next[el] = nl
                 arrivals = arrivals[~pmask]
+                if _prof is not None:
+                    _prof.add_phase("escape", wall_time() - _el0)
             if arrivals.size:
                 admit(arrivals, t)
 
@@ -1740,10 +1838,13 @@ class FastPathEngine:
             run_mode=self.last_run_mode,
         )
         if deadlocked:
-            raise DeadlockError(
+            err = DeadlockError(
                 stats,
                 detail=no_progress_detail(t, remaining, int(active.size), fc),
             )
+            if _obs is not None:
+                err.flight_tail = _obs.flight_tail()
+            raise err
         if not completed and raise_on_timeout:
             raise RoutingTimeout(stats)
         return stats

@@ -127,7 +127,15 @@ class DeadlockError(RuntimeError):
     run's :class:`~repro.routing.metrics.RoutingStats` at the moment of
     detection (``completed`` is False; per-packet fields are written
     back, so the blocked packets can be inspected).
+
+    When an :class:`~repro.obs.Observer` with a flight recorder was
+    attached to the raising engine, ``flight_tail`` holds the last-K
+    recorded step events leading up to the deadlock (oldest first);
+    without one it stays ``()``.
     """
+
+    #: flight-recorder tail at raise time (see repro.obs.FlightRecorder)
+    flight_tail: tuple = ()
 
     def __init__(self, stats, detail: str = "") -> None:
         msg = f"routing deadlocked: {stats}"

@@ -75,6 +75,7 @@ class LeveledRouter:
         engine: str = "auto",
         link_faults=None,
         fault_base: int = 0,
+        observer=None,
     ) -> None:
         if intermediate not in ("coin", "node"):
             raise ValueError(f"unknown intermediate mode {intermediate!r}")
@@ -86,6 +87,8 @@ class LeveledRouter:
         self.flow_control = flow_control
         self.track_paths = track_paths
         self.engine_mode = engine
+        #: forwarded to whichever engine runs (profiling / flight data)
+        self.observer = observer
         resolve_engine_mode(engine)  # validate eagerly
         # Link-fault support: specs are (col, u_row, v_row) physical
         # wires, blocked on both passes; each engine gets a view in its
@@ -138,6 +141,7 @@ class LeveledRouter:
             exit_dest=lambda p: (1, L, p.dest),
             capacity_key=lambda k: (1, 0, k[2]) if k[0] == 0 and k[1] == L else k,
             track_paths=track_paths,
+            observer=observer,
         )
 
     # ------------------------------------------------------------------
@@ -231,6 +235,7 @@ class LeveledRouter:
             track_paths=self.track_paths,
             node_capacity=self.node_capacity,
             flow_control=self.flow_control,
+            observer=self.observer,
         )
         # Arithmetic link ids skip the engine's np.unique interning pass
         # (and carry link_dst for the constrained batch mode's credit

@@ -65,6 +65,7 @@ def _run_fast_mesh(
     flow_control: str = "none",
     link_faults=None,
     fault_base: int = 0,
+    observer=None,
 ):
     """Compile mesh trajectories and replay them on the fast engine.
 
@@ -83,6 +84,7 @@ def _run_fast_mesh(
         track_paths=track_paths,
         node_capacity=node_capacity,
         flow_control=flow_control,
+        observer=observer,
     )
     # Arithmetic link ids skip the engine's np.unique interning pass in
     # both vectorized modes (unconstrained batch and the constrained
@@ -152,9 +154,12 @@ class MeshRouter:
         engine: str = "auto",
         link_faults=None,
         fault_base: int = 0,
+        observer=None,
     ) -> None:
         self.mesh = mesh
         self.rng = as_generator(seed)
+        #: forwarded to whichever engine runs (profiling / flight data)
+        self.observer = observer
         self.slice_rows = (
             default_slice_rows(mesh.rows) if slice_rows is None else slice_rows
         )
@@ -201,6 +206,7 @@ class MeshRouter:
             flow_control=flow_control,
             track_paths=track_paths,
             combine=combine,
+            observer=observer,
         )
 
     # ------------------------------------------------------------------
@@ -291,6 +297,7 @@ class MeshRouter:
             flow_control=self.flow_control,
             link_faults=self._fault_view,
             fault_base=self.fault_base,
+            observer=self.observer,
         )
         self.last_fast_paths = plan.ids
         return stats
@@ -325,16 +332,19 @@ class GreedyMeshRouter:
         node_capacity: int | None = None,
         flow_control: str = "none",
         engine: str = "auto",
+        observer=None,
     ) -> None:
         self.mesh = mesh
         self.node_capacity = node_capacity
         self.flow_control = flow_control
         self.engine_mode = engine
+        self.observer = observer
         resolve_engine_mode(engine)  # validate eagerly
         self.engine = SynchronousEngine(
             queue_factory=fifo_factory,
             node_capacity=node_capacity,
             flow_control=flow_control,
+            observer=observer,
         )
 
     def _next_hop(self, p: Packet):
@@ -359,6 +369,7 @@ class GreedyMeshRouter:
                 max_steps=max_steps,
                 node_capacity=self.node_capacity,
                 flow_control=self.flow_control,
+                observer=self.observer,
             )
             return stats
         return self.engine.run(packets, self._next_hop, max_steps=max_steps)

@@ -46,6 +46,7 @@ from typing import Callable, Sequence
 
 from repro.emulation.base import Emulator, StepCost
 from repro.faults import RehashStormError
+from repro.obs import NULL_OBSERVER
 from repro.pram.trace import StepTrace
 from repro.sharding.placement import ShardPlacement
 from repro.util.rng import as_generator
@@ -144,6 +145,7 @@ class ShardedEmulator(Emulator):
         *,
         seed=None,
         placement_degree: int = 4,
+        observer=None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("need at least one shard")
@@ -151,6 +153,9 @@ class ShardedEmulator(Emulator):
             raise ValueError("address space must be positive")
         self.n_shards = int(n_shards)
         self.address_space = int(address_space)
+        #: repro.obs observer for scatter/gather spans and fleet metrics;
+        #: shards get their own observers only if shard_factory wires one
+        self.observer = observer
         rng = as_generator(seed)
         seeds = rng.integers(2**63 - 1, size=self.n_shards + 1)
         #: seed of the outer address -> shard hash
@@ -243,24 +248,44 @@ class ShardedEmulator(Emulator):
 
     # ---- the scatter/gather step -------------------------------------
     def emulate_step(self, step: StepTrace) -> StepCost:
-        parts = self.placement.split(step)
-        for idx, sub in parts.items():
-            self.shards[idx].submit(sub)
+        obs = self.observer if self.observer is not None else NULL_OBSERVER
+        with obs.span(
+            "shard_scatter",
+            category="sharding",
+            virtual_clock=self._virtual_clock,
+            requests=step.num_requests,
+        ):
+            parts = self.placement.split(step)
+            for idx, sub in parts.items():
+                self.shards[idx].submit(sub)
         costs: list[StepCost] = []
         try:
-            for idx in sorted(parts):
-                cost = self.shards[idx].step()
-                assert cost is not None  # we just submitted
-                costs.append(cost)
-        except RehashStormError:
+            with obs.span(
+                "shard_gather",
+                category="sharding",
+                virtual_clock=self._virtual_clock,
+                shards=len(parts),
+            ) as sp:
+                for idx in sorted(parts):
+                    cost = self.shards[idx].step()
+                    assert cost is not None  # we just submitted
+                    costs.append(cost)
+                sp.virtual_end = self._virtual_clock + max(
+                    (c.total_steps + c.stall_steps for c in costs), default=0
+                )
+        except RehashStormError as err:
             # Gather barrier failed: drop the un-served sub-steps so a
             # retried step does not double-submit, and let the caller's
             # retry policy re-run the whole batch (reads are idempotent,
             # re-applied writes carry the same values).
             for shard in self.shards:
                 shard.inbox.clear()
+            if not err.flight_tail and self.observer is not None:
+                err.flight_tail = self.observer.flight_tail()
             raise
         merged = merge_costs(costs)
+        obs.count("shard_gathers_total")
+        obs.observe("shards_loaded", len(parts))
         # One fleet timeline: advance by the merged (parallel-shards)
         # cost and re-pin every shard, superseding the per-shard clocks
         # that each advanced by their own local cost.

@@ -67,6 +67,7 @@ import numpy as np
 
 from repro.emulation.base import Emulator, StepCost
 from repro.faults import RehashStormError
+from repro.obs import NULL_OBSERVER
 from repro.pram.trace import ReadRequest, StepTrace, WriteRequest
 from repro.traffic.generators import TrafficRequest, WorkloadGenerator
 from repro.traffic.telemetry import EpochRecord, TrafficReport
@@ -151,6 +152,7 @@ class OnlineEmulator:
         retry_limit: int = 3,
         backoff: int = 4,
         rehash_storm_cap: int | None = None,
+        observer=None,
     ) -> None:
         if overflow not in OVERFLOW_POLICIES:
             raise ValueError(
@@ -194,6 +196,12 @@ class OnlineEmulator:
             exclusive = getattr(emulator, "mode", None) == "erew"
         self.emulator = emulator
         self.workload = workload
+        #: repro.obs observer for epoch spans and service metrics; when
+        #: not given explicitly, the emulator's own observer is reused so
+        #: one wiring point covers the whole serving stack
+        self.observer = (
+            observer if observer is not None else getattr(emulator, "observer", None)
+        )
         self.admit_limit = int(admit_limit)
         self.queue_limit = queue_limit
         self.overflow = overflow
@@ -410,6 +418,7 @@ class OnlineEmulator:
         stream = self.workload.stream(epochs)
         report = TrafficReport()
         emu = self.emulator
+        obs = self.observer if self.observer is not None else NULL_OBSERVER
         faults = getattr(emu, "faults", None)
         annotate = faults is not None and bool(faults.schedule)
         for epoch in range(epochs):
@@ -437,37 +446,48 @@ class OnlineEmulator:
                 # run on one timeline (fast-forwards included).
                 if hasattr(emu, "virtual_clock"):
                     emu.virtual_clock = self.clock
-                try:
-                    cost = emu.emulate_step(self._build_step(batch))
-                    served = batch
-                except RehashStormError as exc:
-                    # The step burned time but delivered nothing; its
-                    # requests go back through the retry policy.
-                    cost = StepCost(
-                        0,
-                        0,
-                        rehashes=exc.rehashes,
-                        requests=len(batch),
-                        stall_steps=exc.stall_steps,
-                        deadlock_retries=exc.deadlock_retries,
-                        run_modes=tuple(exc.run_modes),
-                    )
-                    self.clock += cost.stall_steps
-                    retried, dead_lettered = self._requeue_failed(batch)
-                else:
-                    self.clock += cost.total_steps + cost.stall_steps
-                    if (
-                        self.rehash_storm_cap is not None
-                        and cost.rehashes > self.rehash_storm_cap
-                    ):
-                        raise RehashStormError(
-                            f"epoch {epoch} needed {cost.rehashes} rehashes "
-                            f"(cap {self.rehash_storm_cap})",
-                            rehashes=cost.rehashes,
-                            stall_steps=cost.stall_steps,
-                            deadlock_retries=cost.deadlock_retries,
-                            run_modes=cost.run_modes,
+                with obs.span(
+                    "admission_epoch",
+                    category="epoch",
+                    virtual_clock=self.clock,
+                    epoch=epoch,
+                    admitted=len(batch),
+                ) as sp:
+                    try:
+                        cost = emu.emulate_step(self._build_step(batch))
+                        served = batch
+                    except RehashStormError as exc:
+                        # The step burned time but delivered nothing; its
+                        # requests go back through the retry policy.
+                        cost = StepCost(
+                            0,
+                            0,
+                            rehashes=exc.rehashes,
+                            requests=len(batch),
+                            stall_steps=exc.stall_steps,
+                            deadlock_retries=exc.deadlock_retries,
+                            run_modes=tuple(exc.run_modes),
                         )
+                        self.clock += cost.stall_steps
+                        retried, dead_lettered = self._requeue_failed(batch)
+                        obs.count("epoch_storms_total")
+                    else:
+                        self.clock += cost.total_steps + cost.stall_steps
+                        if (
+                            self.rehash_storm_cap is not None
+                            and cost.rehashes > self.rehash_storm_cap
+                        ):
+                            err = RehashStormError(
+                                f"epoch {epoch} needed {cost.rehashes} "
+                                f"rehashes (cap {self.rehash_storm_cap})",
+                                rehashes=cost.rehashes,
+                                stall_steps=cost.stall_steps,
+                                deadlock_retries=cost.deadlock_retries,
+                                run_modes=cost.run_modes,
+                            )
+                            err.flight_tail = obs.flight_tail()
+                            raise err
+                    sp.virtual_end = self.clock
             else:
                 cost = StepCost(0, 0)
             stall_steps = cost.stall_steps
@@ -523,4 +543,17 @@ class OnlineEmulator:
                 tenant_sojourns=tenant_sojourns,
             )
             report.add(record)
+            obs.count("epochs_total")
+            obs.count("requests_admitted_total", len(served))
+            if dropped:
+                obs.count("requests_dropped_total", dropped)
+            obs.gauge("backlog_requests", self._n_queued)
+            obs.record(
+                "epoch",
+                virtual_clock=self.clock,
+                epoch=epoch,
+                admitted=len(served),
+                backlog=self._n_queued,
+                rehashes=cost.rehashes,
+            )
         return report

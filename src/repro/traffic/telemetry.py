@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.schema import versioned
+
 __all__ = ["EpochRecord", "TrafficReport"]
 
 
@@ -467,9 +469,62 @@ class TrafficReport:
         return second > first and tail[-1].backlog > mean_arrivals
 
     # ---- serialization ---------------------------------------------------
+    def traffic_section(self) -> dict:
+        """The service-level numbers, grouped (versioned ``traffic``).
+
+        Engine-dispatch detail (``run_mode_counts``) deliberately stays
+        out: the sections hold only engine-invariant numbers, so a fast
+        and a reference run of the same seed dump identical sections.
+        """
+        return versioned(
+            "traffic",
+            {
+                "num_epochs": self.num_epochs,
+                "total_arrivals": self.total_arrivals,
+                "total_delivered": self.total_delivered,
+                "total_dropped": self.total_dropped,
+                "total_steps": self.total_steps,
+                "final_backlog": self.final_backlog,
+                "conservation_deficit": self.conservation_deficit(),
+            },
+        )
+
+    def faults_section(self) -> dict:
+        """The degraded-mode numbers, grouped (versioned ``faults``)."""
+        return versioned(
+            "faults",
+            {
+                "total_rehashes": self.total_rehashes,
+                "total_deadlock_retries": self.total_deadlock_retries,
+                "total_fault_stalls": self.total_fault_stalls,
+                "total_stall_steps": self.total_stall_steps,
+                "total_retried": self.total_retried,
+                "total_timed_out": self.total_timed_out,
+                "total_dead_lettered": self.total_dead_lettered,
+            },
+        )
+
+    def tenants_section(self) -> dict:
+        """The multi-tenant QoS numbers, grouped (versioned ``tenants``)."""
+        return versioned(
+            "tenants",
+            {
+                "totals": self.tenant_totals(),
+                "conservation_deficits": self.tenant_conservation_deficits(),
+            },
+        )
+
     def to_dict(self) -> dict:
-        """JSON-ready dump (benchmarks commit these as baselines)."""
-        return {
+        """JSON-ready dump (benchmarks commit these as baselines).
+
+        Carries the shared versioned envelope of
+        :mod:`repro.obs.schema` plus three grouped section views —
+        ``traffic`` / ``faults`` / ``tenants``, each with its own
+        envelope — over the same numbers.  The historical flat keys are
+        all preserved, so existing consumers (committed baselines,
+        engine-vs-engine dump comparisons) read the dump unchanged.
+        """
+        flat = {
             "num_epochs": self.num_epochs,
             "total_arrivals": self.total_arrivals,
             "total_delivered": self.total_delivered,
@@ -520,6 +575,10 @@ class TrafficReport:
                 for e in self.epochs
             ],
         }
+        flat["traffic"] = self.traffic_section()
+        flat["faults"] = self.faults_section()
+        flat["tenants"] = self.tenants_section()
+        return versioned("traffic_report", flat)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         p = self.sojourn_percentiles()

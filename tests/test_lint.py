@@ -26,6 +26,7 @@ from tools.lint.framework import (
 )
 from tools.lint.rules.engine_parity import EventKindOrderRule, StatParityRule
 from tools.lint.rules.hash_placement import HashPlacementRule
+from tools.lint.rules.metric_names import MetricNamesRule
 from tools.lint.rules.seeded_rng import SeededRngRule
 from tools.lint.rules.unordered_iter import UnorderedIterRule
 from tools.lint.rules.wall_clock import WallClockRule
@@ -112,6 +113,26 @@ class TestWallClockRule:
             y = time.strftime     # attribute access, not a clock call
         """
         assert _check(WallClockRule(), clean) == []
+
+    def test_obs_clock_is_the_single_exemption(self):
+        """The observability chokepoint may read the wall clock; the
+        same source anywhere else in src/repro still fails."""
+        rule = WallClockRule()
+        src = "import time\nx = time.perf_counter()\n"
+        assert not rule.applies_to("src/repro/obs/clock.py")
+        for elsewhere in (
+            "src/repro/obs/tracer.py",  # even the rest of obs/
+            "src/repro/routing/engine.py",
+            "src/repro/traffic/driver.py",
+        ):
+            assert _check(rule, src, elsewhere), elsewhere
+
+    def test_real_obs_clock_module_would_violate_elsewhere(self):
+        """The actual clock.py source is only clean because of the
+        path exemption, proving the exemption is load-bearing."""
+        source = (REPO_ROOT / "src/repro/obs/clock.py").read_text()
+        ctx = FileContext("src/repro/routing/x.py", source)
+        assert list(WallClockRule().check(ctx))
 
 
 # ---------------------------------------------------------------------------
@@ -383,6 +404,61 @@ class TestHashPlacementRule:
 
 
 # ---------------------------------------------------------------------------
+# REPRO007 metric names
+# ---------------------------------------------------------------------------
+
+class TestMetricNamesRule:
+    def _lint(self, tmp_path, files):
+        return run_lint(_tree(tmp_path, files), rules=[MetricNamesRule()])
+
+    def test_snake_case_names_clean(self, tmp_path):
+        src = """
+            def serve(obs, reg):
+                obs.count("epochs_total")
+                obs.gauge("backlog_requests", 3)
+                reg.histogram("step_total_steps", 12, network="mesh")
+        """
+        assert self._lint(tmp_path, {"src/repro/traffic/x.py": src}) == []
+
+    def test_bad_casing_flagged(self, tmp_path):
+        src = """
+            def serve(obs):
+                obs.count("epochsTotal")
+                obs.gauge("backlog-requests", 3)
+                obs.observe("step.time", 1.0)
+        """
+        vs = self._lint(tmp_path, {"src/repro/traffic/x.py": src})
+        assert len(vs) == 3
+        assert all("snake_case" in v.message for v in vs)
+
+    def test_kind_shadowing_across_files_flagged(self, tmp_path):
+        a = 'def f(obs):\n    obs.count("backlog", 1)\n'
+        b = 'def g(obs):\n    obs.gauge("backlog", 2)\n'
+        vs = self._lint(
+            tmp_path,
+            {"src/repro/a.py": a, "src/repro/b.py": b},
+        )
+        assert len(vs) == 1
+        v = vs[0]
+        assert "one name, one kind" in v.message and "src/repro/a.py" in v.message
+
+    def test_same_kind_reuse_is_fine(self, tmp_path):
+        a = 'def f(obs):\n    obs.count("steps_total", 1)\n'
+        b = 'def g(reg):\n    reg.counter("steps_total", 2)\n'
+        assert self._lint(
+            tmp_path, {"src/repro/a.py": a, "src/repro/b.py": b}
+        ) == []
+
+    def test_dynamic_names_out_of_scope(self, tmp_path):
+        src = """
+            def serve(obs, name):
+                obs.count(name)
+                obs.gauge(f"x_{name}", 1)
+        """
+        assert self._lint(tmp_path, {"src/repro/x.py": src}) == []
+
+
+# ---------------------------------------------------------------------------
 # framework: suppressions, scoping, CLI
 # ---------------------------------------------------------------------------
 
@@ -415,6 +491,7 @@ class TestFramework:
             "REPRO004",
             "REPRO005",
             "REPRO006",
+            "REPRO007",
         ]
 
     def test_cli_clean_tree_exits_zero(self):

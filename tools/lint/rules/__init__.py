@@ -12,12 +12,15 @@ Rule catalog (docs/static_analysis.md has the long-form version):
   ``EVENT_KINDS`` tuple (vocabulary + sort order).
 * REPRO006 ``hash-placement`` — ``PolynomialHash`` is constructed only
   inside ``hashing/`` and ``sharding/`` (placement stays centralized).
+* REPRO007 ``metric-names`` — observability metric names are
+  snake_case and each name registers exactly one metric kind.
 """
 
 from __future__ import annotations
 
 from tools.lint.rules.engine_parity import EventKindOrderRule, StatParityRule
 from tools.lint.rules.hash_placement import HashPlacementRule
+from tools.lint.rules.metric_names import MetricNamesRule
 from tools.lint.rules.seeded_rng import SeededRngRule
 from tools.lint.rules.unordered_iter import UnorderedIterRule
 from tools.lint.rules.wall_clock import WallClockRule
@@ -29,12 +32,14 @@ ALL_RULES = [
     StatParityRule,
     EventKindOrderRule,
     HashPlacementRule,
+    MetricNamesRule,
 ]
 
 __all__ = [
     "ALL_RULES",
     "EventKindOrderRule",
     "HashPlacementRule",
+    "MetricNamesRule",
     "SeededRngRule",
     "StatParityRule",
     "UnorderedIterRule",

@@ -1,0 +1,90 @@
+"""REPRO007: metric names are snake_case and registered under one kind.
+
+The :class:`repro.obs.MetricsRegistry` enforces both properties at
+runtime (``MetricsError``), but only on code paths a test actually
+drives.  This rule checks them statically at every registration site in
+``src/repro`` — calls of the registry methods (``counter`` / ``gauge`` /
+``histogram``) and the :class:`~repro.obs.Observer` convenience hooks
+(``count`` / ``gauge`` / ``observe``) whose first argument is a string
+literal:
+
+* the name must match ``^[a-z][a-z0-9_]*$`` (snake_case, no dots or
+  dashes — JSON snapshot keys stay shell- and grep-friendly);
+* across the whole tree, one name maps to one metric kind — a counter
+  named ``backlog`` in one module and a gauge named ``backlog`` in
+  another would shadow each other the moment both run against a shared
+  registry, which the registry rejects at runtime; the lint catches it
+  before any run does.
+
+Dynamically built names (f-strings, variables) are out of scope; keep
+variability in labels, not names.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.lint.framework import FileContext, ProjectRule, Violation
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: registration-method name -> metric kind it registers
+METHOD_KINDS = {
+    "counter": "counter",
+    "count": "counter",
+    "gauge": "gauge",
+    "histogram": "histogram",
+    "observe": "histogram",
+}
+
+
+class MetricNamesRule(ProjectRule):
+    id = "REPRO007"
+    title = "metric names snake_case, one kind per name"
+    scopes = ("src/repro",)
+
+    def check_project(
+        self, files: dict[str, FileContext]
+    ) -> Iterator[Violation]:
+        #: name -> (kind, relpath, lineno) of the first registration
+        seen: dict[str, tuple[str, str, int]] = {}
+        for relpath in sorted(files):
+            ctx = files[relpath]
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                kind = METHOD_KINDS.get(func.attr)
+                if kind is None or not node.args:
+                    continue
+                first = node.args[0]
+                if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                    continue
+                name = first.value
+                if not _NAME_RE.match(name):
+                    yield Violation(
+                        self.id,
+                        ctx.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"metric name {name!r} is not snake_case "
+                        "(^[a-z][a-z0-9_]*$)",
+                    )
+                    continue
+                prior = seen.get(name)
+                if prior is None:
+                    seen[name] = (kind, ctx.relpath, node.lineno)
+                elif prior[0] != kind:
+                    yield Violation(
+                        self.id,
+                        ctx.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f"metric {name!r} registered as {kind} here but as "
+                        f"{prior[0]} at {prior[1]}:{prior[2]}; one name, "
+                        "one kind",
+                    )

@@ -26,6 +26,7 @@ QUICK_ARGS = {
     "fault_injection_demo.py": ["--quick"],
     "race_detection_demo.py": ["--quick"],
     "pram_applications_demo.py": ["--quick"],
+    "observability_demo.py": ["--quick"],
 }
 
 TIMEOUT_S = 180
